@@ -1,0 +1,192 @@
+//! AsmDB prototype (the paper's state-of-the-art software baseline).
+//!
+//! AsmDB injects one unconditional single-line code prefetch per miss, at a
+//! predecessor within the prefetch window whose fan-out does not exceed a
+//! threshold (the paper finds real applications need the threshold as high
+//! as 99 % for coverage, which is what destroys its accuracy — Fig. 3).
+//! It has neither conditional execution nor coalescing.
+
+use ispy_core::planner::{Plan, PlanStats};
+use ispy_core::window::{find_candidates, select_site};
+use ispy_isa::{InjectionMap, PrefetchOp};
+use ispy_profile::Profile;
+use ispy_trace::Program;
+
+/// AsmDB configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmDbConfig {
+    /// Maximum tolerated fan-out at the injection site (paper: ≈ 0.99).
+    pub fanout_threshold: f64,
+    /// Minimum prefetch distance in cycles.
+    pub min_prefetch_cycles: u32,
+    /// Maximum prefetch distance in cycles.
+    pub max_prefetch_cycles: u32,
+    /// Minimum sampled misses for a line to be targeted.
+    pub min_miss_count: u64,
+    /// Window-search expansion cap.
+    pub max_search_nodes: usize,
+}
+
+impl Default for AsmDbConfig {
+    fn default() -> Self {
+        AsmDbConfig {
+            fanout_threshold: 0.99,
+            min_prefetch_cycles: 27,
+            max_prefetch_cycles: 200,
+            min_miss_count: 2,
+            max_search_nodes: 4096,
+        }
+    }
+}
+
+impl AsmDbConfig {
+    /// Returns the configuration with a different fan-out threshold
+    /// (the Fig. 3 sweep knob).
+    #[must_use]
+    pub fn with_fanout_threshold(mut self, t: f64) -> Self {
+        self.fanout_threshold = t;
+        self
+    }
+}
+
+/// The AsmDB offline pass.
+pub struct AsmDbPlanner<'a> {
+    program: &'a Program,
+    profile: &'a Profile,
+    cfg: AsmDbConfig,
+}
+
+impl<'a> AsmDbPlanner<'a> {
+    /// Creates a planner over one application's profile.
+    pub fn new(program: &'a Program, profile: &'a Profile, cfg: AsmDbConfig) -> Self {
+        AsmDbPlanner { program, profile, cfg }
+    }
+
+    /// Produces the AsmDB injection plan.
+    pub fn plan(&self) -> Plan {
+        let mut stats = PlanStats {
+            coalesced_distance_hist: vec![0; 8],
+            lines_per_op_hist: vec![0; 9],
+            ..Default::default()
+        };
+        let mut injections = InjectionMap::new();
+        for (line, line_stats) in self.profile.misses.lines_by_count() {
+            if line_stats.count < self.cfg.min_miss_count {
+                continue;
+            }
+            stats.target_lines += 1;
+            let Some(target_block) = line_stats.dominant_block() else {
+                stats.uncovered_lines += 1;
+                continue;
+            };
+            let mut candidates = find_candidates(
+                &self.profile.cfg,
+                target_block,
+                self.cfg.min_prefetch_cycles,
+                self.cfg.max_prefetch_cycles,
+                self.cfg.max_search_nodes,
+            );
+            // The fan-out threshold is AsmDB's coverage/accuracy dial: only
+            // sites below it are admissible.
+            candidates.retain(|c| c.fanout() <= self.cfg.fanout_threshold);
+            let Some(site) = select_site(&self.profile.cfg, &candidates) else {
+                stats.uncovered_lines += 1;
+                continue;
+            };
+            stats.covered_lines += 1;
+            stats.ops_plain += 1;
+            stats.lines_per_op_hist[0] += 1;
+            injections.push(site.block, PrefetchOp::Plain { target: line });
+        }
+        stats.sites = injections.num_sites();
+        stats.injected_bytes = injections.injected_bytes();
+        stats.static_increase = injections.static_increase(self.program.text_bytes());
+        Plan { injections, stats, context_details: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_profile::{profile, SampleRate};
+    use ispy_sim::{run, RunOptions, SimConfig};
+    use ispy_trace::apps;
+
+    fn setup() -> (Program, ispy_trace::Trace, Profile) {
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 30_000);
+        let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        (program, trace, prof)
+    }
+
+    #[test]
+    fn asmdb_injects_only_plain_ops() {
+        let (program, _, prof) = setup();
+        let plan = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
+        assert!(plan.stats.ops_plain > 0);
+        assert_eq!(plan.stats.ops_cond, 0);
+        assert_eq!(plan.stats.ops_coalesced, 0);
+        assert_eq!(plan.stats.ops_cond_coalesced, 0);
+        for (_, ops) in plan.injections.iter() {
+            for op in ops {
+                assert!(matches!(op, PrefetchOp::Plain { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn asmdb_speeds_up_but_fires_everywhere() {
+        let (program, trace, prof) = setup();
+        let plan = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
+        let scfg = SimConfig::default();
+        let base = run(&program, &trace, &scfg, RunOptions::default());
+        let with = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&plan.injections), ..Default::default() },
+        );
+        assert!(with.cycles < base.cycles);
+        // Unconditional: every executed op fires.
+        assert_eq!(with.pf_ops_fired, with.pf_ops_executed);
+        assert_eq!(with.pf_ops_suppressed, 0);
+    }
+
+    #[test]
+    fn lower_threshold_reduces_coverage() {
+        let (program, _, prof) = setup();
+        let strict = AsmDbPlanner::new(
+            &program,
+            &prof,
+            AsmDbConfig::default().with_fanout_threshold(0.05),
+        )
+        .plan();
+        let loose = AsmDbPlanner::new(
+            &program,
+            &prof,
+            AsmDbConfig::default().with_fanout_threshold(0.99),
+        )
+        .plan();
+        assert!(strict.stats.covered_lines < loose.stats.covered_lines);
+        assert!(strict.stats.planned_coverage() < loose.stats.planned_coverage());
+    }
+
+    #[test]
+    fn threshold_zero_keeps_only_sure_sites() {
+        let (program, _, prof) = setup();
+        let plan =
+            AsmDbPlanner::new(&program, &prof, AsmDbConfig::default().with_fanout_threshold(0.0))
+                .plan();
+        // Whatever remains covered was reached with probability 1.
+        assert!(plan.stats.covered_lines <= plan.stats.target_lines);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (program, _, prof) = setup();
+        let a = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
+        let b = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
+        assert_eq!(a.injections, b.injections);
+    }
+}

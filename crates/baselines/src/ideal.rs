@@ -1,0 +1,50 @@
+//! The ideal-cache upper bound (an L1I that never misses).
+
+use ispy_sim::{run, RunOptions, SimConfig, SimResult};
+use ispy_trace::{Program, Trace};
+
+/// Runs `trace` under an ideal I-cache: the theoretical upper bound every
+/// figure in the paper normalizes against.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_baselines::ideal_result;
+/// use ispy_trace::apps;
+///
+/// let model = apps::kafka().scaled_down(40);
+/// let program = model.generate();
+/// let trace = program.record_trace(model.default_input(), 5_000);
+/// let ideal = ideal_result(&program, &trace);
+/// assert_eq!(ideal.i_misses, 0);
+/// ```
+pub fn ideal_result(program: &Program, trace: &Trace) -> SimResult {
+    run(program, trace, &SimConfig::ideal(), RunOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_trace::apps;
+
+    #[test]
+    fn ideal_has_no_frontend_stalls() {
+        let model = apps::drupal().scaled_down(40);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 10_000);
+        let r = ideal_result(&program, &trace);
+        assert_eq!(r.i_misses, 0);
+        assert_eq!(r.i_stall_cycles, 0);
+        assert_eq!(r.frontend_bound(), 0.0);
+    }
+
+    #[test]
+    fn ideal_bounds_every_other_configuration() {
+        let model = apps::drupal().scaled_down(40);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 10_000);
+        let base = run(&program, &trace, &SimConfig::default(), RunOptions::default());
+        let ideal = ideal_result(&program, &trace);
+        assert!(ideal.cycles <= base.cycles);
+    }
+}

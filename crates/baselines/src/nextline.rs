@@ -1,0 +1,129 @@
+//! Next-line / next-N-line hardware instruction prefetchers.
+//!
+//! The oldest and most widely deployed hardware scheme (§VIII): on an
+//! I-cache miss (or optionally on every access), prefetch the next N
+//! sequential lines. Works well for straight-line code, poorly for
+//! branch-heavy data-center code — which is the motivation for everything
+//! else in the paper.
+
+use ispy_sim::HwPrefetcher;
+use ispy_trace::Line;
+
+/// When the prefetcher triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trigger {
+    /// Only on L1I misses (classic).
+    #[default]
+    OnMiss,
+    /// On every fetch (more aggressive, more pollution).
+    OnAccess,
+}
+
+/// A next-N-line instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_baselines::NextNLine;
+/// use ispy_sim::{run, RunOptions, SimConfig};
+/// use ispy_trace::apps;
+///
+/// let model = apps::verilator().scaled_down(40);
+/// let program = model.generate();
+/// let trace = program.record_trace(model.default_input(), 10_000);
+/// let mut pf = NextNLine::new(2);
+/// let r = run(&program, &trace, &SimConfig::default(), RunOptions {
+///     hw_prefetcher: Some(&mut pf),
+///     ..Default::default()
+/// });
+/// assert!(r.pf_lines_issued > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextNLine {
+    degree: u32,
+    trigger: Trigger,
+}
+
+impl NextNLine {
+    /// A next-N-line prefetcher triggering on misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u32) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        NextNLine { degree, trigger: Trigger::OnMiss }
+    }
+
+    /// Returns the prefetcher with a different trigger.
+    #[must_use]
+    pub fn with_trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// The prefetch degree (lines ahead).
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+}
+
+impl HwPrefetcher for NextNLine {
+    fn on_fetch(&mut self, line: Line, was_miss: bool, out: &mut Vec<Line>) {
+        if was_miss || self.trigger == Trigger::OnAccess {
+            for d in 1..=u64::from(self.degree) {
+                out.push(line.offset(d));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_sim::{run, RunOptions, SimConfig};
+    use ispy_trace::apps;
+
+    #[test]
+    fn emits_n_lines_on_miss() {
+        let mut pf = NextNLine::new(3);
+        let mut out = Vec::new();
+        pf.on_fetch(Line::new(10), true, &mut out);
+        assert_eq!(out, vec![Line::new(11), Line::new(12), Line::new(13)]);
+        out.clear();
+        pf.on_fetch(Line::new(10), false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn on_access_trigger_fires_on_hits_too() {
+        let mut pf = NextNLine::new(1).with_trigger(Trigger::OnAccess);
+        let mut out = Vec::new();
+        pf.on_fetch(Line::new(5), false, &mut out);
+        assert_eq!(out, vec![Line::new(6)]);
+    }
+
+    #[test]
+    fn helps_sequential_verilator_style_code() {
+        let model = apps::verilator().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 20_000);
+        let scfg = SimConfig::default();
+        let base = run(&program, &trace, &scfg, RunOptions::default());
+        let mut pf = NextNLine::new(4);
+        let with = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { hw_prefetcher: Some(&mut pf), ..Default::default() },
+        );
+        assert!(with.i_misses < base.i_misses);
+        assert!(with.cycles < base.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_panics() {
+        let _ = NextNLine::new(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Substrate micro/meso benchmarks: how fast is each building block.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ispy_bench::workload;
+use ispy_core::{IspyConfig, Planner};
+use ispy_isa::hash::{fnv1_addr, murmur3_addr};
+use ispy_isa::HashConfig;
+use ispy_profile::{profile, scan_joint, JointQuery, SampleRate};
+use ispy_sim::{run, Cache, CacheParams, CountingBloom, InsertPriority, Lbr, RunOptions, SimConfig};
+use ispy_trace::{apps, Addr, BlockId, Line, Walker};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.bench_function("fnv1_addr", |b| b.iter(|| fnv1_addr(black_box(0x40_1234))));
+    g.bench_function("murmur3_addr", |b| b.iter(|| murmur3_addr(black_box(0x40_1234))));
+    let cfg = HashConfig::default();
+    g.bench_function("block_signature", |b| {
+        b.iter(|| cfg.block_signature(black_box(Addr::new(0x40_1234))))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l1i_access_hit", |b| {
+        let mut cache = Cache::new(CacheParams::new(32 * 1024, 8));
+        cache.fill(Line::new(42), InsertPriority::Mru, false);
+        b.iter(|| cache.access(black_box(Line::new(42))))
+    });
+    g.bench_function("l1i_fill_evict", |b| {
+        let mut cache = Cache::new(CacheParams::new(32 * 1024, 8));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 64;
+            cache.fill(Line::new(n), InsertPriority::Half, true)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lbr_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lbr");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_with_bloom", |b| {
+        let mut lbr = Lbr::new(32, HashConfig::default());
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 64;
+            lbr.push(Addr::new(0x400000 + (n % 8192)))
+        })
+    });
+    g.bench_function("bloom_runtime_hash", |b| {
+        let mut bloom = CountingBloom::new(HashConfig::default());
+        for i in 0..32 {
+            bloom.insert(Addr::new(0x400000 + i * 64));
+        }
+        b.iter(|| black_box(bloom.runtime_hash()))
+    });
+    g.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let model = apps::cassandra().scaled_down(8);
+    let program = model.generate();
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("walker_10k_blocks", |b| {
+        b.iter_batched(
+            || Walker::new(&program, model.default_input()),
+            |walker| walker.take(10_000).count(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = workload(50_000);
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.throughput(Throughput::Elements(w.trace.len() as u64));
+    g.bench_function("replay_50k_blocks", |b| {
+        b.iter(|| run(&w.program, &w.trace, &SimConfig::default(), RunOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let w = workload(50_000);
+    let mut g = c.benchmark_group("profile");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("profile_50k_blocks", |b| {
+        b.iter(|| profile(&w.program, &w.trace, &SimConfig::default(), SampleRate::EXACT))
+    });
+    g.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let w = workload(50_000);
+    // A realistic query batch over the hottest sites.
+    let queries: Vec<JointQuery> = w
+        .profile
+        .misses
+        .lines_by_count()
+        .into_iter()
+        .take(64)
+        .filter_map(|(_, stats)| {
+            let site = stats.dominant_block()?;
+            let candidates: Vec<BlockId> =
+                stats.ranked_predictors(&[]).into_iter().take(6).map(|(b, _)| b).collect();
+            Some(JointQuery {
+                site,
+                target_positions: stats.positions.clone(),
+                candidates,
+                horizon_blocks: 64,
+            })
+        })
+        .collect();
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("joint_scan_64_queries", |b| {
+        b.iter(|| scan_joint(&w.trace, 32, &queries))
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let w = workload(50_000);
+    let mut g = c.benchmark_group("plan");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("ispy_full_plan", |b| {
+        b.iter(|| Planner::new(&w.program, &w.trace, &w.profile, IspyConfig::default()).plan())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_cache,
+    bench_lbr_bloom,
+    bench_walker,
+    bench_simulator,
+    bench_profiler,
+    bench_scanner,
+    bench_planner
+);
+criterion_main!(benches);

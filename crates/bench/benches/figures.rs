@@ -1,0 +1,42 @@
+//! One benchmark per paper table/figure: each measures regenerating the
+//! corresponding experiment end-to-end at a reduced scale.
+//!
+//! These double as regression guards on the analysis pipeline's cost — the
+//! paper notes context discovery's search-space blow-up beyond 4
+//! predecessors (§VI-B), which `figures/fig17` makes directly measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispy_harness::{figures, Scale, Session};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    // One shared session over a representative 3-app subset (wordpress is
+    // required by fig03/fig16/fig21; verilator exercises coalescing; drupal
+    // is a second HHVM-class app): preparation is paid once; each benchmark
+    // then measures its figure driver, which includes that figure's
+    // planning/simulation work (comparison runs are cached after first use,
+    // exactly like the `repro` binary).
+    let session = Session::with_apps(
+        Scale::test(),
+        vec![
+            ispy_trace::apps::drupal(),
+            ispy_trace::apps::verilator(),
+            ispy_trace::apps::wordpress(),
+        ],
+    );
+    // Warm the shared comparison cache so per-figure numbers are comparable.
+    for i in 0..session.apps().len() {
+        let _ = session.comparison(i);
+    }
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for spec in figures::all() {
+        g.bench_function(spec.id, |b| b.iter(|| (spec.run)(&session)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared setup for the Criterion benchmarks.
+//!
+//! The real measurement targets live in `benches/`: `components` covers the
+//! substrate (caches, Bloom filter, walker, simulator, scanner, planner),
+//! and `figures` has one benchmark per paper table/figure, running the
+//! corresponding harness driver at a reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ispy_profile::{profile, Profile, SampleRate};
+use ispy_sim::SimConfig;
+use ispy_trace::{apps, Program, Trace};
+
+/// A small prepared workload shared by benchmarks.
+pub struct BenchWorkload {
+    /// The program.
+    pub program: Program,
+    /// A recorded trace.
+    pub trace: Trace,
+    /// Its profile.
+    pub profile: Profile,
+}
+
+/// Prepares a reduced-scale cassandra workload (deterministic).
+pub fn workload(events: usize) -> BenchWorkload {
+    let model = apps::cassandra().scaled_down(8);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), events);
+    let profile = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+    BenchWorkload { program, trace, profile }
+}

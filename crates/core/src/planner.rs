@@ -1,0 +1,709 @@
+//! The end-to-end offline analysis (§IV steps 2–3).
+
+use crate::coalesce::{coalesce_lines, CoalescedGroup};
+use crate::config::IspyConfig;
+use crate::context::{discover_multi, ContextChoice};
+use crate::window::{find_candidates, select_covering_sites, SelectedSite, SelectionPolicy, SiteCandidate};
+use ispy_isa::{ContextHash, InjectionMap, PrefetchOp};
+use ispy_profile::{scan_joint, JointQuery, Profile};
+use ispy_trace::{BlockId, Line, Program, Trace};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics about a produced plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanStats {
+    /// Missing lines that met the miss-count threshold.
+    pub target_lines: usize,
+    /// Lines for which a timely injection site was found.
+    pub covered_lines: usize,
+    /// Lines with no predecessor inside the prefetch window.
+    pub uncovered_lines: usize,
+    /// Distinct injection sites used.
+    pub sites: usize,
+    /// Injected instructions by mnemonic.
+    pub ops_plain: usize,
+    /// `Cprefetch` count.
+    pub ops_cond: usize,
+    /// `Lprefetch` count.
+    pub ops_coalesced: usize,
+    /// `CLprefetch` count.
+    pub ops_cond_coalesced: usize,
+    /// Bytes added to the text segment.
+    pub injected_bytes: u64,
+    /// Static code-footprint increase (bytes injected / original text).
+    pub static_increase: f64,
+    /// (site, line) pairs for which a miss context was adopted.
+    pub contexts_adopted: usize,
+    /// Total predictor blocks across adopted contexts.
+    pub context_blocks_total: usize,
+    /// Histogram of coalesced extra-line distances (index = distance − 1).
+    pub coalesced_distance_hist: Vec<u64>,
+    /// Histogram of lines per injected op (index = lines − 1, saturating).
+    pub lines_per_op_hist: Vec<u64>,
+    /// Lines with no dynamic predecessor at all inside the prefetch window.
+    pub lines_no_candidates: usize,
+    /// Lines whose window candidates all failed the coverage/precision
+    /// floors.
+    pub lines_no_sites: usize,
+    /// (site, line) injections dropped in pass 2 for lack of a strong
+    /// context.
+    pub entries_dropped: usize,
+}
+
+impl PlanStats {
+    /// Total injected instructions.
+    pub fn ops_total(&self) -> usize {
+        self.ops_plain + self.ops_cond + self.ops_coalesced + self.ops_cond_coalesced
+    }
+
+    /// Mean predictor blocks per adopted context.
+    pub fn avg_ctx_blocks(&self) -> f64 {
+        if self.contexts_adopted == 0 {
+            0.0
+        } else {
+            self.context_blocks_total as f64 / self.contexts_adopted as f64
+        }
+    }
+
+    /// Miss coverage of the plan at the planning level: covered / targeted.
+    pub fn planned_coverage(&self) -> f64 {
+        if self.target_lines == 0 {
+            0.0
+        } else {
+            self.covered_lines as f64 / self.target_lines as f64
+        }
+    }
+
+    /// Fraction of coalesced ops that bring in fewer than `n` lines
+    /// (paper Fig. 20 reports < 4 lines for 82.4 % of coalesced prefetches).
+    pub fn coalesced_fraction_below(&self, n: usize) -> f64 {
+        let multi: u64 = self.lines_per_op_hist.iter().skip(1).sum();
+        if multi == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.lines_per_op_hist.iter().take(n.saturating_sub(1)).skip(1).sum();
+        below as f64 / multi as f64
+    }
+}
+
+/// A finished plan: the injection map plus its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Injected prefetch instructions, by site.
+    pub injections: InjectionMap,
+    /// Accounting for the evaluation harness.
+    pub stats: PlanStats,
+    /// The predictor blocks behind each adopted context, per site — kept so
+    /// the harness can measure the context hash's false-positive rate
+    /// (Fig. 21) against ground truth.
+    pub context_details: Vec<(BlockId, Vec<BlockId>)>,
+}
+
+/// One miss line's planning state between passes.
+struct Pending {
+    site: SelectedSite,
+    line: Line,
+    /// Index of this entry's query in the joint scan, if one was issued.
+    query: Option<usize>,
+    /// Predictor candidates the query covered.
+    candidates: Vec<BlockId>,
+    /// Adopted contexts (empty = unconditional op).
+    ctxs: Vec<ContextChoice>,
+    /// Dropped in pass 2 (needs-context site without a strong context).
+    dropped: bool,
+}
+
+/// The I-SPY offline analyzer.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Planner<'a> {
+    program: &'a Program,
+    trace: &'a Trace,
+    profile: &'a Profile,
+    cfg: IspyConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over one application's profile.
+    pub fn new(
+        program: &'a Program,
+        trace: &'a Trace,
+        profile: &'a Profile,
+        cfg: IspyConfig,
+    ) -> Self {
+        Planner { program, trace, profile, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IspyConfig {
+        &self.cfg
+    }
+
+
+    /// Predictor-candidate pool for one (site, target): the site's dynamic
+    /// predecessors (Fig. 6's path-into-the-site blocks) plus miss-history
+    /// blocks ranked by lift over their base rate.
+    fn predictor_candidates(
+        &self,
+        line_stats: &ispy_profile::LineMissStats,
+        site_block: BlockId,
+        target_block: BlockId,
+    ) -> Vec<BlockId> {
+        let trace_len = self.profile.trace_len.max(1) as f64;
+        let depth = self.profile.lbr_depth as f64;
+        let mut scored: Vec<(f64, f64, BlockId)> = line_stats
+            .ranked_predictors(&[site_block, target_block])
+            .into_iter()
+            .filter_map(|(b, pres)| {
+                let frac = pres as f64 / line_stats.count as f64;
+                // Keep even low-presence candidates: each may predict only
+                // its own calling context's share of the instances
+                // (multi-context discovery covers the rest).
+                if frac < 0.05 {
+                    return None;
+                }
+                let expected =
+                    (self.profile.cfg.exec_count(b) as f64 * depth / trace_len).min(1.0).max(1e-9);
+                let lift = frac / expected;
+                (lift >= 1.2).then_some((lift, frac, b))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.2 .0.cmp(&b.2 .0))
+        });
+        // Blocks on the paths *into the site* are the strongest
+        // discriminators: at run time the LBR provably contains the site's
+        // recent predecessors.
+        let mut predictors: Vec<BlockId> = Vec::new();
+        let push = |b: BlockId, out: &mut Vec<BlockId>| {
+            if b != site_block && b != target_block && !out.contains(&b) {
+                out.push(b);
+            }
+        };
+        let site_preds = self.profile.cfg.preds(site_block);
+        for &(p, _) in site_preds.iter().take(3) {
+            push(p, &mut predictors);
+        }
+        if let Some(&(top_pred, _)) = site_preds.first() {
+            for &(pp, _) in self.profile.cfg.preds(top_pred).iter().take(2) {
+                push(pp, &mut predictors);
+            }
+        }
+        for (_, _, b) in scored {
+            push(b, &mut predictors);
+        }
+        predictors.truncate(self.cfg.ctx_candidates.min(ispy_profile::scan::MAX_CANDIDATES));
+        predictors
+    }
+
+    /// Fills each query's target positions with its miss block's trace
+    /// positions, in one pass over the trace.
+    fn fill_positions(&self, queries: &mut [JointQuery], targets: &[BlockId]) {
+        let needed: std::collections::HashSet<u32> = targets.iter().map(|b| b.0).collect();
+        let mut positions: std::collections::HashMap<u32, Vec<u32>> =
+            needed.iter().map(|&b| (b, Vec::new())).collect();
+        for (idx, block) in self.trace.iter().enumerate() {
+            if let Some(v) = positions.get_mut(&block.0) {
+                v.push(idx as u32);
+            }
+        }
+        for (q, target) in queries.iter_mut().zip(targets) {
+            q.target_positions = positions[&target.0].clone();
+        }
+    }
+
+    /// Runs the analysis and produces the plan.
+    pub fn plan(&self) -> Plan {
+        let mut stats = PlanStats {
+            coalesced_distance_hist: vec![0; usize::from(self.cfg.coalesce_bits)],
+            lines_per_op_hist: vec![0; usize::from(self.cfg.coalesce_bits) + 1],
+            ..Default::default()
+        };
+
+        // ---- Pass 1: site selection + joint-query construction. ----------
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut queries: Vec<JointQuery> = Vec::new();
+        // Miss block each query targets; positions are filled in afterwards.
+        let mut query_targets: Vec<BlockId> = Vec::new();
+        // Unchosen window candidates per line, for the retry pass.
+        let mut spare_candidates: BTreeMap<u64, (BlockId, Vec<SiteCandidate>)> = BTreeMap::new();
+        for (line, line_stats) in self.profile.misses.lines_by_count() {
+            if line_stats.count < self.cfg.min_miss_count {
+                continue;
+            }
+            stats.target_lines += 1;
+            let Some(target_block) = line_stats.dominant_block() else {
+                stats.uncovered_lines += 1;
+                continue;
+            };
+            let candidates = find_candidates(
+                &self.profile.cfg,
+                target_block,
+                self.cfg.min_prefetch_cycles,
+                self.cfg.max_prefetch_cycles,
+                self.cfg.max_search_nodes,
+            );
+            // Coverage- and precision-driven multi-site selection: a miss
+            // reached over several paths gets one prefetch per covering
+            // path; imprecise sites are admitted only because the run-time
+            // condition will keep them accurate (§III-A).
+            let policy = SelectionPolicy {
+                max_sites: self.cfg.max_sites_per_line,
+                min_presence: self.cfg.min_site_presence,
+                min_unconditional_precision: self.cfg.min_unconditional_precision,
+                min_conditional_precision: self.cfg.min_conditional_precision,
+                allow_conditional: self.cfg.conditional && self.cfg.ctx_size > 0,
+            };
+            let sites = select_covering_sites(
+                &candidates,
+                |b| line_stats.history_presence.get(&b).copied().unwrap_or(0),
+                |b| self.profile.cfg.exec_count(b),
+                line_stats.count,
+                &policy,
+            );
+            if sites.is_empty() {
+                stats.uncovered_lines += 1;
+                if candidates.is_empty() {
+                    stats.lines_no_candidates += 1;
+                } else {
+                    stats.lines_no_sites += 1;
+                }
+                continue;
+            }
+            stats.covered_lines += 1;
+            let chosen_blocks: Vec<BlockId> = sites.iter().map(|s| s.cand.block).collect();
+            let spares: Vec<SiteCandidate> = candidates
+                .iter()
+                .filter(|c| !chosen_blocks.contains(&c.block))
+                .copied()
+                .collect();
+            if !spares.is_empty() {
+                spare_candidates.insert(line.raw(), (target_block, spares));
+            }
+
+            for site in sites {
+                let mut entry = Pending {
+                    site,
+                    line,
+                    query: None,
+                    candidates: Vec::new(),
+                    ctxs: Vec::new(),
+                    dropped: false,
+                };
+                if self.cfg.conditional && self.cfg.ctx_size > 0 {
+                    let predictors =
+                        self.predictor_candidates(line_stats, site.cand.block, target_block);
+                    if !predictors.is_empty() {
+                        // Label horizon: how far ahead "reaching the target"
+                        // still counts. The max prefetch distance expressed
+                        // in blocks (ideal cycles / avg block cost), with
+                        // slack for runtime path variance.
+                        let horizon = (site.cand.blocks * 3).max(64);
+                        // The context is scored on *reaching the miss block*
+                        // (path probability, as in Fig. 6), not on the miss
+                        // re-occurring: misses are self-erasing once the
+                        // line is cached, whereas the prefetch should fire
+                        // whenever the line is about to be needed (a
+                        // resident prefetch is cheap, §VII). The block's
+                        // trace positions are filled in after this pass.
+                        queries.push(JointQuery {
+                            site: site.cand.block,
+                            target_positions: Vec::new(),
+                            candidates: predictors.clone(),
+                            horizon_blocks: horizon,
+                        });
+                        query_targets.push(target_block);
+                        entry.query = Some(queries.len() - 1);
+                        entry.candidates = predictors;
+                    }
+                }
+                pending.push(entry);
+            }
+        }
+
+        // ---- Pass 2: one linear scan answers every context query. --------
+        if !queries.is_empty() {
+            self.fill_positions(&mut queries, &query_targets);
+            let results = scan_joint(self.trace, self.profile.lbr_depth, &queries);
+            for entry in &mut pending {
+                let Some(qi) = entry.query else {
+                    // Needs-context sites with no query (no predictor
+                    // candidates at all) cannot be repaired: drop them.
+                    if entry.site.needs_ctx {
+                        entry.dropped = true;
+                    }
+                    continue;
+                };
+                let counts = &results[qi];
+                // Zero fan-out at run time: the site almost always leads to
+                // the miss; no condition needed (§IV).
+                let unconditional = counts.conditional_probability(0).unwrap_or(0.0);
+                if unconditional >= self.cfg.zero_fanout_threshold {
+                    continue;
+                }
+                let (ctxs, coverage) = discover_multi(
+                    counts,
+                    &entry.candidates,
+                    self.cfg.ctx_size,
+                    self.cfg.min_ctx_support,
+                    self.cfg.ctx_gain_margin,
+                    self.cfg.min_ctx_probability,
+                    self.cfg.max_contexts_per_site,
+                );
+                if entry.site.needs_ctx {
+                    // An imprecise site is kept conditionally when contexts
+                    // make its firings likely to be useful; failing that it
+                    // survives unconditionally only if its raw reach is
+                    // already decent (most firings land on a soon-needed
+                    // line); otherwise it is dropped.
+                    if !ctxs.is_empty() {
+                        entry.ctxs = ctxs;
+                    } else if unconditional < self.cfg.min_unconditional_reach {
+                        entry.dropped = true;
+                    }
+                } else if !ctxs.is_empty() && coverage >= 0.8 {
+                    // A precise site adopts contexts only when they retain
+                    // (almost) all of its coverage while raising accuracy.
+                    entry.ctxs = ctxs;
+                }
+                if entry.dropped && std::env::var_os("ISPY_DEBUG").is_some() {
+                    eprintln!(
+                        "DROP site={} line={} prec={:.3} pres={:.2} uncond={:.3} cands={:?} occ={:?} hits={:?}",
+                        entry.site.cand.block,
+                        entry.line,
+                        entry.site.precision,
+                        entry.site.presence_frac,
+                        unconditional,
+                        entry.candidates,
+                        counts.occurrences,
+                        counts.hits,
+                    );
+                }
+            }
+        }
+
+        // ---- Pass 2.5: retry lines whose every injection was dropped. -----
+        // A line can lose all its first-choice sites when none of them finds
+        // a usable context; its remaining window candidates get one more
+        // attempt (always as conditional sites).
+        if self.cfg.conditional && self.cfg.ctx_size > 0 && !spare_candidates.is_empty() {
+            let mut alive: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+            for e in &pending {
+                let a = alive.entry(e.line.raw()).or_insert(false);
+                *a |= !e.dropped;
+            }
+            let mut retry_entries: Vec<Pending> = Vec::new();
+            let mut retry_queries: Vec<JointQuery> = Vec::new();
+            let mut retry_targets: Vec<BlockId> = Vec::new();
+            for (&line_raw, (target_block, spares)) in &spare_candidates {
+                if alive.get(&line_raw).copied().unwrap_or(false) {
+                    continue;
+                }
+                let line = Line::new(line_raw);
+                let Some(line_stats) = self.profile.misses.line(line) else { continue };
+                let mut ranked = spares.clone();
+                let presence =
+                    |b: BlockId| line_stats.history_presence.get(&b).copied().unwrap_or(0);
+                ranked.sort_by(|a, b| {
+                    presence(b.block).cmp(&presence(a.block)).then_with(|| {
+                        b.cycles
+                            .partial_cmp(&a.cycles)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| a.block.0.cmp(&b.block.0))
+                    })
+                });
+                let mut taken = 0;
+                for cand in ranked {
+                    if taken >= 2 {
+                        break;
+                    }
+                    let pres = presence(cand.block);
+                    let execs = self.profile.cfg.exec_count(cand.block).max(1);
+                    let precision = (pres as f64 / execs as f64).min(1.0);
+                    // Even a conditional op *executes* on every site pass;
+                    // the precision floor bounds the dynamic overhead.
+                    if precision < self.cfg.min_conditional_precision {
+                        continue;
+                    }
+                    let predictors =
+                        self.predictor_candidates(line_stats, cand.block, *target_block);
+                    if predictors.is_empty() {
+                        continue;
+                    }
+                    taken += 1;
+                    let site = SelectedSite {
+                        cand,
+                        presence_frac: pres as f64 / line_stats.count.max(1) as f64,
+                        precision,
+                        needs_ctx: true,
+                    };
+                    let horizon = (cand.blocks * 3).max(64);
+                    retry_queries.push(JointQuery {
+                        site: cand.block,
+                        target_positions: Vec::new(),
+                        candidates: predictors.clone(),
+                        horizon_blocks: horizon,
+                    });
+                    retry_targets.push(*target_block);
+                    retry_entries.push(Pending {
+                        site,
+                        line,
+                        query: Some(retry_queries.len() - 1),
+                        candidates: predictors,
+                        ctxs: Vec::new(),
+                        dropped: false,
+                    });
+                }
+            }
+            if !retry_queries.is_empty() {
+                self.fill_positions(&mut retry_queries, &retry_targets);
+                let results = scan_joint(self.trace, self.profile.lbr_depth, &retry_queries);
+                for entry in &mut retry_entries {
+                    let counts = &results[entry.query.expect("retry entries carry queries")];
+                    let unconditional = counts.conditional_probability(0).unwrap_or(0.0);
+                    if unconditional >= self.cfg.zero_fanout_threshold {
+                        continue;
+                    }
+                    let (ctxs, _) = discover_multi(
+                        counts,
+                        &entry.candidates,
+                        self.cfg.ctx_size,
+                        self.cfg.min_ctx_support,
+                        self.cfg.ctx_gain_margin,
+                        self.cfg.min_ctx_probability,
+                        self.cfg.max_contexts_per_site,
+                    );
+                    if !ctxs.is_empty() {
+                        entry.ctxs = ctxs;
+                    } else if unconditional < self.cfg.min_unconditional_reach
+                        || entry.site.precision < self.cfg.min_conditional_precision
+                    {
+                        entry.dropped = true;
+                    }
+                }
+                pending.extend(retry_entries);
+            }
+        }
+
+        // ---- Pass 3: group by (site, context), coalesce, emit. ------------
+        let mut groups: BTreeMap<(u32, Vec<u32>), Vec<Line>> = BTreeMap::new();
+        for entry in &pending {
+            if entry.dropped {
+                stats.entries_dropped += 1;
+                continue;
+            }
+            if entry.ctxs.is_empty() {
+                groups.entry((entry.site.cand.block.0, Vec::new())).or_default().push(entry.line);
+                continue;
+            }
+            for ctx in &entry.ctxs {
+                let mut ids: Vec<u32> = ctx.blocks.iter().map(|b| b.0).collect();
+                ids.sort_unstable();
+                stats.contexts_adopted += 1;
+                stats.context_blocks_total += ctx.blocks.len();
+                groups.entry((entry.site.cand.block.0, ids)).or_default().push(entry.line);
+            }
+        }
+
+        let mut injections = InjectionMap::new();
+        let mut context_details: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for ((site_raw, ctx_blocks), lines) in groups {
+            let site = BlockId(site_raw);
+            let ctx_hash: Option<ContextHash> = if ctx_blocks.is_empty() {
+                None
+            } else {
+                context_details
+                    .push((site, ctx_blocks.iter().map(|&b| BlockId(b)).collect()));
+                Some(self.cfg.hash.context_hash(
+                    ctx_blocks.iter().map(|&b| self.program.block(BlockId(b)).start()),
+                ))
+            };
+            let packed: Vec<CoalescedGroup> = if self.cfg.coalescing {
+                coalesce_lines(lines, self.cfg.coalesce_bits)
+            } else {
+                let mut ls = lines;
+                ls.sort();
+                ls.dedup();
+                ls.into_iter().map(|base| CoalescedGroup { base, mask: None }).collect()
+            };
+            for group in packed {
+                let op = match (ctx_hash, group.mask) {
+                    (Some(ctx), Some(mask)) => {
+                        stats.ops_cond_coalesced += 1;
+                        PrefetchOp::CondCoalesced { base: group.base, mask, ctx }
+                    }
+                    (Some(ctx), None) => {
+                        stats.ops_cond += 1;
+                        PrefetchOp::Cond { target: group.base, ctx }
+                    }
+                    (None, Some(mask)) => {
+                        stats.ops_coalesced += 1;
+                        PrefetchOp::Coalesced { base: group.base, mask }
+                    }
+                    (None, None) => {
+                        stats.ops_plain += 1;
+                        PrefetchOp::Plain { target: group.base }
+                    }
+                };
+                if let Some(mask) = group.mask {
+                    for extra in mask.decode(group.base) {
+                        let d = extra.distance_from(group.base).expect("forward") as usize;
+                        stats.coalesced_distance_hist[d - 1] += 1;
+                    }
+                }
+                let lines_count = group.line_count() as usize;
+                let idx = (lines_count - 1).min(stats.lines_per_op_hist.len() - 1);
+                stats.lines_per_op_hist[idx] += 1;
+                injections.push(site, op);
+            }
+        }
+
+        stats.sites = injections.num_sites();
+        stats.injected_bytes = injections.injected_bytes();
+        stats.static_increase = injections.static_increase(self.program.text_bytes());
+        Plan { injections, stats, context_details }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_profile::{profile, SampleRate};
+    use ispy_sim::{run, RunOptions, SimConfig};
+    use ispy_trace::apps;
+
+    fn planned(
+        model: ispy_trace::AppModel,
+        events: usize,
+        cfg: IspyConfig,
+    ) -> (Program, Trace, Plan) {
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), events);
+        let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let plan = Planner::new(&program, &trace, &prof, cfg).plan();
+        (program, trace, plan)
+    }
+
+    #[test]
+    fn plan_produces_ops_and_accounting() {
+        let (_, _, plan) = planned(
+            apps::cassandra().scaled_down(30),
+            30_000,
+            IspyConfig::default(),
+        );
+        assert!(plan.stats.target_lines > 10);
+        assert!(plan.stats.covered_lines > 0);
+        assert_eq!(plan.stats.ops_total(), plan.injections.num_ops());
+        assert!(plan.stats.injected_bytes > 0);
+        assert!(plan.stats.static_increase > 0.0);
+    }
+
+    #[test]
+    fn plan_speeds_up_execution() {
+        let (program, trace, plan) = planned(
+            apps::cassandra().scaled_down(30),
+            40_000,
+            IspyConfig::default(),
+        );
+        let scfg = SimConfig::default();
+        let base = run(&program, &trace, &scfg, RunOptions::default());
+        let with = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&plan.injections), ..Default::default() },
+        );
+        assert!(
+            with.cycles < base.cycles,
+            "I-SPY must speed up: {} vs {}",
+            with.cycles,
+            base.cycles
+        );
+        assert!(with.i_misses < base.i_misses);
+        assert!(with.pf_useful > 0);
+    }
+
+    #[test]
+    fn conditional_only_has_no_coalesced_ops() {
+        let (_, _, plan) = planned(
+            apps::cassandra().scaled_down(30),
+            20_000,
+            IspyConfig::conditional_only(),
+        );
+        assert_eq!(plan.stats.ops_coalesced, 0);
+        assert_eq!(plan.stats.ops_cond_coalesced, 0);
+    }
+
+    #[test]
+    fn coalescing_only_has_no_conditional_ops() {
+        let (_, _, plan) = planned(
+            apps::cassandra().scaled_down(30),
+            20_000,
+            IspyConfig::coalescing_only(),
+        );
+        assert_eq!(plan.stats.ops_cond, 0);
+        assert_eq!(plan.stats.ops_cond_coalesced, 0);
+        assert_eq!(plan.stats.contexts_adopted, 0);
+    }
+
+    #[test]
+    fn coalescing_reduces_op_count() {
+        let model = apps::verilator().scaled_down(30);
+        let (_, _, with) = planned(model.clone(), 20_000, IspyConfig::coalescing_only());
+        let (_, _, without) = planned(model, 20_000, IspyConfig::plain());
+        assert!(
+            with.stats.ops_total() < without.stats.ops_total(),
+            "coalescing must shrink the op count on spatially-local verilator: {} vs {}",
+            with.stats.ops_total(),
+            without.stats.ops_total()
+        );
+        assert!(with.stats.injected_bytes < without.stats.injected_bytes);
+    }
+
+    #[test]
+    fn injections_respect_coalesce_window() {
+        let (_, _, plan) = planned(
+            apps::verilator().scaled_down(30),
+            20_000,
+            IspyConfig::default(),
+        );
+        for (_, ops) in plan.injections.iter() {
+            for op in ops {
+                let targets = op.target_lines();
+                let base = op.base_line();
+                for t in &targets {
+                    let d = t.distance_from(base).expect("targets at/after base");
+                    assert!(d <= 8, "distance {d} exceeds the 8-line window");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_planning() {
+        let model = apps::kafka().scaled_down(30);
+        let (_, _, a) = planned(model.clone(), 15_000, IspyConfig::default());
+        let (_, _, b) = planned(model, 15_000, IspyConfig::default());
+        assert_eq!(a.injections, b.injections);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = PlanStats {
+            contexts_adopted: 2,
+            context_blocks_total: 6,
+            target_lines: 10,
+            covered_lines: 8,
+            lines_per_op_hist: vec![5, 3, 2, 0, 0, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        assert!((stats.avg_ctx_blocks() - 3.0).abs() < 1e-12);
+        assert!((stats.planned_coverage() - 0.8).abs() < 1e-12);
+        // Multi-line ops: 3 two-line + 2 three-line; below 4 lines = all 5.
+        assert!((stats.coalesced_fraction_below(4) - 1.0).abs() < 1e-12);
+        assert!((stats.coalesced_fraction_below(3) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! `repro` — regenerate the I-SPY paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show available experiments
+//! repro fig10                # run one experiment at full scale
+//! repro fig10 fig11 --quick  # several experiments, reduced scale
+//! repro all --json out/      # everything, also writing JSON per figure
+//! ```
+
+use ispy_harness::{figures, Scale, Session};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::full();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--test-scale" => scale = Scale::test(),
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--json needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "list" => {
+                for spec in figures::all() {
+                    println!("{:12} {}", spec.id, spec.about);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(figures::all().into_iter().map(|s| s.id.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    ids.dedup();
+    for id in &ids {
+        if figures::by_id(id).is_none() {
+            eprintln!("unknown experiment `{id}`; try `repro list`");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "preparing {} applications (shrink={}, events={}) ...",
+        ispy_trace::apps::NAMES.len(),
+        scale.shrink,
+        scale.events
+    );
+    let t0 = Instant::now();
+    let session = Session::new(scale);
+    eprintln!("prepared in {:.1?}", t0.elapsed());
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for id in &ids {
+        let spec = figures::by_id(id).expect("validated above");
+        let t = Instant::now();
+        let table = (spec.run)(&session);
+        println!("{table}");
+        eprintln!("[{id} took {:.1?}]\n", t.elapsed());
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{id}.json"));
+            if let Err(e) = std::fs::write(&path, table.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    eprintln!("usage: repro <list|all|fig01|fig03|...|fig21|table1|walkthrough> [--quick] [--json DIR]");
+}

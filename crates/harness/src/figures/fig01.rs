@@ -1,0 +1,24 @@
+//! Fig. 1: frontend-bound pipeline-slot share.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+
+/// Regenerates Fig. 1: the fraction of cycles each application stalls
+/// waiting for instruction fetch, with no prefetching.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig01",
+        "Frontend-bound share of cycles (no prefetching)",
+        &["app", "frontend-bound", "L1I MPKI"],
+    );
+    for (i, ctx) in session.apps().iter().enumerate() {
+        let c = session.comparison(i);
+        t.row(vec![
+            ctx.name().to_string(),
+            pct(c.baseline.frontend_bound()),
+            format!("{:.1}", c.baseline.mpki()),
+        ]);
+    }
+    t.note("paper: 23%-80% of pipeline slots are frontend-bound across the nine apps");
+    t
+}

@@ -1,0 +1,24 @@
+//! Fig. 4: AsmDB's code-footprint costs.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+
+/// Regenerates Fig. 4: static and dynamic code-footprint increase of the
+/// AsmDB baseline.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig04",
+        "AsmDB static and dynamic code-footprint increase",
+        &["app", "static increase", "dynamic increase"],
+    );
+    for (i, ctx) in session.apps().iter().enumerate() {
+        let c = session.comparison(i);
+        t.row(vec![
+            ctx.name().to_string(),
+            pct(c.asmdb_plan.stats.static_increase),
+            pct(c.asmdb.dynamic_increase()),
+        ]);
+    }
+    t.note("paper: AsmDB averages ~13.7% static and ~7.3% dynamic increase");
+    t
+}

@@ -1,0 +1,37 @@
+//! Fig. 10: the headline speedup comparison.
+
+use crate::report::{pct, speedup, Table};
+use crate::session::Session;
+
+/// Regenerates Fig. 10: speedup over no prefetching for AsmDB, I-SPY, and
+/// the ideal cache, plus I-SPY's fraction of ideal.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig10",
+        "Speedup over no prefetching",
+        &["app", "asmdb", "i-spy", "ideal", "i-spy % of ideal"],
+    );
+    let mut fracs = Vec::new();
+    let mut over_asmdb = Vec::new();
+    for (i, ctx) in session.apps().iter().enumerate() {
+        let c = session.comparison(i);
+        let frac = c.ispy.fraction_of_ideal(&c.baseline, &c.ideal);
+        fracs.push(frac);
+        over_asmdb.push(c.ispy.speedup_over(&c.asmdb));
+        t.row(vec![
+            ctx.name().to_string(),
+            speedup(c.asmdb.speedup_over(&c.baseline)),
+            speedup(c.ispy.speedup_over(&c.baseline)),
+            speedup(c.ideal.speedup_over(&c.baseline)),
+            pct(frac),
+        ]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    t.note(format!(
+        "measured: I-SPY reaches {} of ideal on average and is {:.1}% faster than AsmDB",
+        pct(mean(&fracs)),
+        100.0 * (mean(&over_asmdb) - 1.0)
+    ));
+    t.note("paper: I-SPY averages 90.4% of ideal (up to 96.4%) and beats AsmDB by 22.4%");
+    t
+}

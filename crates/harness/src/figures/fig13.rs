@@ -1,0 +1,30 @@
+//! Fig. 13: prefetch accuracy.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+
+/// Regenerates Fig. 13: fraction of issued prefetch lines that were used
+/// before eviction, AsmDB vs I-SPY.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig13",
+        "Prefetch accuracy",
+        &["app", "asmdb", "i-spy", "delta"],
+    );
+    let mut deltas = Vec::new();
+    for (i, ctx) in session.apps().iter().enumerate() {
+        let c = session.comparison(i);
+        let d = c.ispy.accuracy() - c.asmdb.accuracy();
+        deltas.push(d);
+        t.row(vec![
+            ctx.name().to_string(),
+            pct(c.asmdb.accuracy()),
+            pct(c.ispy.accuracy()),
+            pct(d),
+        ]);
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+    t.note(format!("measured: mean accuracy delta {}", pct(mean)));
+    t.note("paper: I-SPY averages 80.3% accuracy, 8.2% above AsmDB");
+    t
+}

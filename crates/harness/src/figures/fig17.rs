@@ -1,0 +1,35 @@
+//! Fig. 17: sensitivity to the number of predecessors in the context.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+use ispy_core::IspyConfig;
+
+/// Context sizes swept (the paper sweeps 1..32 in powers of two).
+pub const CTX_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Regenerates Fig. 17: mean fraction of ideal achieved by conditional
+/// prefetching as the context grows.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig17",
+        "Conditional prefetching vs predecessors per context",
+        &["context size", "mean % of ideal", "contexts adopted"],
+    );
+    for n in CTX_SIZES {
+        let mut fracs = Vec::new();
+        let mut ctxs = 0usize;
+        for i in 0..session.apps().len() {
+            let c = session.comparison(i);
+            let (plan, r) =
+                session.run_ispy_variant(i, IspyConfig::conditional_only().with_ctx_size(n));
+            fracs.push(r.fraction_of_ideal(&c.baseline, &c.ideal));
+            ctxs += plan.stats.contexts_adopted;
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+        t.row(vec![n.to_string(), pct(mean), ctxs.to_string()]);
+    }
+    t.note("paper: performance improves with more predecessors but search cost explodes;");
+    t.note("paper: 4 predecessors already exceed 85% of ideal, so I-SPY uses 4");
+    t.note("note: our candidate pool caps at 8 blocks, so sizes 16/32 saturate at 8");
+    t
+}

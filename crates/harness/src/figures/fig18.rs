@@ -1,0 +1,41 @@
+//! Fig. 18: sensitivity to the prefetch-distance window.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+use ispy_core::IspyConfig;
+
+/// Minimum distances swept with the maximum fixed at 200 cycles.
+pub const MIN_SWEEP: [u32; 5] = [5, 15, 27, 60, 100];
+
+/// Maximum distances swept with the minimum fixed at 27 cycles.
+pub const MAX_SWEEP: [u32; 4] = [60, 120, 200, 300];
+
+/// Regenerates Fig. 18: mean fraction of ideal as the minimum (left) and
+/// maximum (right) prefetch distances vary.
+pub fn run(session: &Session) -> Table {
+    let mut t = Table::new(
+        "fig18",
+        "Fraction of ideal vs prefetch distance window",
+        &["sweep", "min..max cycles", "mean % of ideal"],
+    );
+    let eval = |label: &str, min: u32, max: u32, t: &mut Table| {
+        let mut fracs = Vec::new();
+        for i in 0..session.apps().len() {
+            let c = session.comparison(i);
+            let (_, r) =
+                session.run_ispy_variant(i, IspyConfig::default().with_distances(min, max));
+            fracs.push(r.fraction_of_ideal(&c.baseline, &c.ideal));
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+        t.row(vec![label.to_string(), format!("{min}..{max}"), pct(mean)]);
+    };
+    for min in MIN_SWEEP {
+        eval("min", min, 200, &mut t);
+    }
+    for max in MAX_SWEEP {
+        eval("max", 27, max, &mut t);
+    }
+    t.note("paper: best minimum is 20-30 cycles (above L2, below L3 latency);");
+    t.note("paper: raising the maximum keeps helping but plateaus past 200 cycles");
+    t
+}

@@ -1,0 +1,54 @@
+//! Fig. 20: what coalesced prefetches actually bring in.
+
+use crate::report::{pct, Table};
+use crate::session::Session;
+
+/// Regenerates Fig. 20: the distribution of coalesced-line distances (left)
+/// and of lines per coalesced prefetch (right), aggregated over all apps'
+/// I-SPY plans.
+pub fn run(session: &Session) -> Table {
+    let mut dist = vec![0u64; 8];
+    let mut lines = vec![0u64; 9];
+    for i in 0..session.apps().len() {
+        let c = session.comparison(i);
+        for (d, &n) in c.ispy_plan.stats.coalesced_distance_hist.iter().enumerate() {
+            if d < dist.len() {
+                dist[d] += n;
+            }
+        }
+        for (l, &n) in c.ispy_plan.stats.lines_per_op_hist.iter().enumerate() {
+            if l < lines.len() {
+                lines[l] += n;
+            }
+        }
+    }
+    let dist_total: u64 = dist.iter().sum();
+    let multi_total: u64 = lines.iter().skip(1).sum();
+    let mut t = Table::new(
+        "fig20",
+        "Coalesced prefetch anatomy (aggregated I-SPY plans)",
+        &["quantity", "value", "share"],
+    );
+    for (d, &n) in dist.iter().enumerate() {
+        t.row(vec![
+            format!("extra line at distance {}", d + 1),
+            n.to_string(),
+            pct(if dist_total == 0 { 0.0 } else { n as f64 / dist_total as f64 }),
+        ]);
+    }
+    for (l, &n) in lines.iter().enumerate().skip(1) {
+        t.row(vec![
+            format!("coalesced ops bringing {} lines", l + 1),
+            n.to_string(),
+            pct(if multi_total == 0 { 0.0 } else { n as f64 / multi_total as f64 }),
+        ]);
+    }
+    let below4: u64 = lines.iter().take(3).skip(1).sum();
+    t.note(format!(
+        "measured: {} of coalesced prefetches bring in fewer than 4 lines",
+        pct(if multi_total == 0 { 0.0 } else { below4 as f64 / multi_total as f64 })
+    ));
+    t.note("paper: coalescing probability falls with line distance; 82.4% of coalesced");
+    t.note("paper: prefetches bring in fewer than 4 lines");
+    t
+}

@@ -1,0 +1,153 @@
+//! One driver per paper table/figure.
+//!
+//! Every submodule exposes `run(&Session) -> Table` regenerating the
+//! corresponding figure's rows/series. The [`all`] registry maps experiment
+//! ids (as used by the `repro` binary) to drivers.
+
+use crate::report::Table;
+use crate::session::Session;
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod table1;
+pub mod walkthrough;
+
+/// A registered experiment.
+pub struct FigureSpec {
+    /// Experiment id (`fig10`, `table1`, …).
+    pub id: &'static str,
+    /// One-line description of what the paper figure shows.
+    pub about: &'static str,
+    /// The driver.
+    pub run: fn(&Session) -> Table,
+}
+
+/// All experiments, in paper order.
+pub fn all() -> Vec<FigureSpec> {
+    vec![
+        FigureSpec { id: "table1", about: "simulated system parameters", run: table1::run },
+        FigureSpec {
+            id: "fig01",
+            about: "frontend-bound pipeline-slot share per application",
+            run: fig01::run,
+        },
+        FigureSpec {
+            id: "fig03",
+            about: "AsmDB coverage/accuracy vs fan-out threshold (wordpress)",
+            run: fig03::run,
+        },
+        FigureSpec {
+            id: "fig04",
+            about: "AsmDB static & dynamic code-footprint increase",
+            run: fig04::run,
+        },
+        FigureSpec {
+            id: "fig05",
+            about: "Contiguous-8 vs Non-contiguous-8 speedup",
+            run: fig05::run,
+        },
+        FigureSpec {
+            id: "walkthrough",
+            about: "Figs. 2/6/7/8 mechanism walk-through on a toy CFG",
+            run: walkthrough::run,
+        },
+        FigureSpec { id: "fig10", about: "speedup vs ideal cache and AsmDB", run: fig10::run },
+        FigureSpec { id: "fig11", about: "L1I MPKI reduction vs AsmDB", run: fig11::run },
+        FigureSpec {
+            id: "fig12",
+            about: "conditional-only / coalescing-only / combined over AsmDB",
+            run: fig12::run,
+        },
+        FigureSpec { id: "fig13", about: "prefetch accuracy vs AsmDB", run: fig13::run },
+        FigureSpec { id: "fig14", about: "static code-footprint increase", run: fig14::run },
+        FigureSpec { id: "fig15", about: "dynamic instruction increase", run: fig15::run },
+        FigureSpec {
+            id: "fig16",
+            about: "generalization across application inputs",
+            run: fig16::run,
+        },
+        FigureSpec {
+            id: "fig17",
+            about: "sensitivity: predecessors per context",
+            run: fig17::run,
+        },
+        FigureSpec {
+            id: "fig18",
+            about: "sensitivity: min/max prefetch distance",
+            run: fig18::run,
+        },
+        FigureSpec { id: "fig19", about: "sensitivity: coalescing bitmask size", run: fig19::run },
+        FigureSpec {
+            id: "fig20",
+            about: "coalesced line distances and lines per prefetch",
+            run: fig20::run,
+        },
+        FigureSpec {
+            id: "fig21",
+            about: "context-hash size vs false positives and static footprint",
+            run: fig21::run,
+        },
+        FigureSpec {
+            id: "abl-replacement",
+            about: "ablation: prefetched-line insertion priority (§III-B)",
+            run: ablations::replacement,
+        },
+        FigureSpec {
+            id: "abl-sampling",
+            about: "ablation: PEBS sampling rate vs plan quality",
+            run: ablations::sampling,
+        },
+        FigureSpec {
+            id: "abl-bloomk",
+            about: "ablation: Bloom hash functions per block (k=1 vs k=2)",
+            run: ablations::bloom_k,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<FigureSpec> {
+    all().into_iter().find(|f| f.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let specs = all();
+        let mut ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len());
+        assert!(by_id("fig10").is_some());
+        assert!(by_id("fig99").is_none());
+    }
+
+    #[test]
+    fn registry_covers_every_evaluation_figure() {
+        let specs = all();
+        for id in [
+            "table1", "fig01", "fig03", "fig04", "fig05", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        ] {
+            assert!(specs.iter().any(|s| s.id == id), "{id} missing");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text tables (one per paper figure) with JSON export.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A rendered experiment result: the rows/series a paper figure reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"fig10"`.
+    pub id: String,
+    /// Human title quoting what the paper showed.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper-reported values, deviations, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables are serializable")
+    }
+
+    /// Looks up a cell as `f64` (for tests over rendered output).
+    pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows.get(row)?.get(col)?.trim_end_matches(['%', 'x']).trim().parse().ok()
+    }
+}
+
+/// Formats a ratio as a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup cell.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.3}x")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "  {cell:<w$}", w = widths[i])?;
+                } else {
+                    write!(f, "  {cell:>w$}", w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        render(&self.headers, f)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig0", "demo", &["app", "speedup"]);
+        t.row(vec!["cassandra".into(), speedup(1.25)]);
+        t.note("paper: something");
+        t
+    }
+
+    #[test]
+    fn renders_all_parts() {
+        let s = sample().to_string();
+        assert!(s.contains("fig0"));
+        assert!(s.contains("cassandra"));
+        assert!(s.contains("1.250x"));
+        assert!(s.contains("note: paper"));
+    }
+
+    #[test]
+    fn json_roundtrips_fields() {
+        let j = sample().to_json();
+        assert!(j.contains("\"id\": \"fig0\""));
+        assert!(j.contains("1.250x"));
+    }
+
+    #[test]
+    fn cell_parsing() {
+        let t = sample();
+        assert_eq!(t.cell_f64(0, 1), Some(1.25));
+        assert_eq!(t.cell_f64(5, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = sample();
+        t.row(vec!["too-short".into()]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.505), "50.5%");
+    }
+}

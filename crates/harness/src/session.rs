@@ -1,0 +1,215 @@
+//! Prepared applications and cached per-app comparison runs.
+
+use ispy_baselines::asmdb::{AsmDbConfig, AsmDbPlanner};
+use ispy_core::planner::Plan;
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, Profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig, SimResult};
+use ispy_trace::{apps, AppModel, InputSpec, Program, Trace};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// How big the experiments are.
+///
+/// `full` matches the paper-scale defaults (entire app models, 1 M block
+/// events ≈ 10⁷ instructions of steady state). `quick` shrinks the
+/// footprints and traces for CI-speed runs; shapes are preserved, absolute
+/// numbers get noisier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Divisor applied to each app's function count.
+    pub shrink: u32,
+    /// Trace length in block events.
+    pub events: usize,
+}
+
+impl Scale {
+    /// Paper-scale runs (~seconds per app per configuration).
+    pub fn full() -> Self {
+        Scale { shrink: 1, events: 1_000_000 }
+    }
+
+    /// Reduced scale for quick runs.
+    pub fn quick() -> Self {
+        Scale { shrink: 4, events: 250_000 }
+    }
+
+    /// Tiny scale for unit/integration tests.
+    pub fn test() -> Self {
+        Scale { shrink: 20, events: 50_000 }
+    }
+}
+
+/// One prepared application: model, program ("binary"), recorded trace of
+/// the profiled input, and its profile.
+#[derive(Debug)]
+pub struct AppContext {
+    /// The application model.
+    pub model: AppModel,
+    /// The generated program.
+    pub program: Program,
+    /// Steady-state trace of the profiled (default) input.
+    pub trace: Trace,
+    /// Miss-annotated dynamic CFG.
+    pub profile: Profile,
+}
+
+impl AppContext {
+    /// Prepares one application at the given scale.
+    pub fn prepare(model: AppModel, scale: Scale) -> Self {
+        let model = model.scaled_down(scale.shrink);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), scale.events);
+        let profile = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        AppContext { model, program, trace, profile }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &'static str {
+        self.model.name()
+    }
+
+    /// Runs the prepared trace under `cfg` with optional injections.
+    pub fn simulate(
+        &self,
+        cfg: &SimConfig,
+        injections: Option<&ispy_isa::InjectionMap>,
+    ) -> SimResult {
+        run(&self.program, &self.trace, cfg, RunOptions { injections, ..Default::default() })
+    }
+
+    /// Records a trace of input variant `k` (0 = the profiled input) and
+    /// runs it with optional injections — the Fig. 16 drift experiment.
+    pub fn simulate_variant(
+        &self,
+        k: usize,
+        events: usize,
+        cfg: &SimConfig,
+        injections: Option<&ispy_isa::InjectionMap>,
+    ) -> SimResult {
+        let input: InputSpec = self.model.input_variant(k);
+        let trace = self.program.record_trace(input, events);
+        run(&self.program, &trace, cfg, RunOptions { injections, ..Default::default() })
+    }
+}
+
+/// The four-way comparison behind most of the evaluation figures.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// No prefetching.
+    pub baseline: SimResult,
+    /// Ideal I-cache (never misses).
+    pub ideal: SimResult,
+    /// AsmDB result.
+    pub asmdb: SimResult,
+    /// AsmDB plan.
+    pub asmdb_plan: Plan,
+    /// I-SPY result (conditional + coalescing).
+    pub ispy: SimResult,
+    /// I-SPY plan.
+    pub ispy_plan: Plan,
+}
+
+/// A prepared set of applications plus result caches.
+pub struct Session {
+    scale: Scale,
+    apps: Vec<AppContext>,
+    comparisons: RefCell<BTreeMap<usize, Comparison>>,
+}
+
+impl Session {
+    /// Prepares all nine applications at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        Self::with_apps(scale, apps::all())
+    }
+
+    /// Prepares a chosen subset of applications (used by tests and by
+    /// figures that only need some apps).
+    pub fn with_apps(scale: Scale, models: Vec<AppModel>) -> Self {
+        let apps = models.into_iter().map(|m| AppContext::prepare(m, scale)).collect();
+        Session { scale, apps, comparisons: RefCell::new(BTreeMap::new()) }
+    }
+
+    /// The session's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The prepared applications.
+    pub fn apps(&self) -> &[AppContext] {
+        &self.apps
+    }
+
+    /// Finds a prepared app by name.
+    pub fn app(&self, name: &str) -> Option<&AppContext> {
+        self.apps.iter().find(|a| a.name() == name)
+    }
+
+    /// The four-way comparison for app `i`, computed once and cached.
+    pub fn comparison(&self, i: usize) -> Comparison {
+        if let Some(c) = self.comparisons.borrow().get(&i) {
+            return c.clone();
+        }
+        let ctx = &self.apps[i];
+        let scfg = SimConfig::default();
+        let baseline = ctx.simulate(&scfg, None);
+        let ideal = ctx.simulate(&SimConfig::ideal(), None);
+        let asmdb_plan = AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
+        let asmdb = ctx.simulate(&scfg, Some(&asmdb_plan.injections));
+        let ispy_plan =
+            Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default()).plan();
+        let ispy = ctx.simulate(&scfg, Some(&ispy_plan.injections));
+        let c = Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan };
+        self.comparisons.borrow_mut().insert(i, c.clone());
+        c
+    }
+
+    /// Plans and runs an I-SPY configuration variant for app `i` (used by
+    /// the ablation and sensitivity figures). Not cached.
+    pub fn run_ispy_variant(&self, i: usize, cfg: IspyConfig) -> (Plan, SimResult) {
+        let ctx = &self.apps[i];
+        let plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, cfg).plan();
+        let result = ctx.simulate(&SimConfig::default(), Some(&plan.injections));
+        (plan, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_session() -> Session {
+        Session::with_apps(Scale::test(), vec![apps::cassandra()])
+    }
+
+    #[test]
+    fn prepare_builds_consistent_context() {
+        let s = tiny_session();
+        let ctx = &s.apps()[0];
+        assert_eq!(ctx.trace.len(), Scale::test().events);
+        assert!(ctx.profile.misses.total_misses() > 0);
+        assert_eq!(ctx.name(), "cassandra");
+        assert!(s.app("cassandra").is_some());
+        assert!(s.app("nope").is_none());
+    }
+
+    #[test]
+    fn comparison_is_cached_and_ordered() {
+        let s = tiny_session();
+        let c1 = s.comparison(0);
+        let c2 = s.comparison(0);
+        assert_eq!(c1.baseline, c2.baseline);
+        // Sanity ordering: ideal <= ispy/asmdb <= baseline (cycles).
+        assert!(c1.ideal.cycles <= c1.ispy.cycles);
+        assert!(c1.ispy.cycles <= c1.baseline.cycles);
+        assert!(c1.asmdb.cycles <= c1.baseline.cycles);
+    }
+
+    #[test]
+    fn variant_simulation_runs() {
+        let s = tiny_session();
+        let ctx = &s.apps()[0];
+        let r = ctx.simulate_variant(1, 10_000, &SimConfig::default(), None);
+        assert_eq!(r.blocks, 10_000);
+    }
+}

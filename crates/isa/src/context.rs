@@ -1,0 +1,244 @@
+//! Context hashes: compressed representations of sets of basic blocks.
+//!
+//! A miss context is a set of predictor basic blocks. Both the offline
+//! planner (encoding a `Cprefetch`'s immediate operand) and the simulated
+//! hardware (folding LBR entries into the counting Bloom filter) map a block
+//! address to a small set-bit signature; the prefetch fires iff the operand's
+//! bits are a **subset** of the runtime hash's bits (§III-A).
+
+use crate::hash::{fnv1_addr, murmur3_addr};
+use ispy_trace::Addr;
+use std::fmt;
+
+/// Configuration of the context-hash scheme.
+///
+/// `bits` is the hash width (the paper settles on 16 after the Fig. 21
+/// sweep); `k` is the number of hash functions per block (FNV-1 and
+/// MurmurHash3 give `k = 2`).
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::HashConfig;
+/// use ispy_trace::Addr;
+///
+/// let cfg = HashConfig::default();
+/// let sig = cfg.block_signature(Addr::new(0x401000));
+/// assert!(sig.count_ones() <= 2); // k = 2 bits per block
+/// assert!(sig < (1 << 16));       // 16-bit hash
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashConfig {
+    bits: u8,
+    k: u8,
+}
+
+impl Default for HashConfig {
+    /// The paper's design point: 16-bit context hash, two hash functions.
+    fn default() -> Self {
+        HashConfig { bits: 16, k: 2 }
+    }
+}
+
+impl HashConfig {
+    /// Creates a configuration with `bits` hash bits and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 64` and `1 <= k <= 2`.
+    pub fn new(bits: u8, k: u8) -> Self {
+        assert!((1..=64).contains(&bits), "hash width must be 1..=64 bits");
+        assert!((1..=2).contains(&k), "supported k is 1 (FNV) or 2 (FNV+Murmur)");
+        HashConfig { bits, k }
+    }
+
+    /// Hash width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Bytes needed to encode a context hash operand of this width.
+    pub fn operand_bytes(&self) -> u32 {
+        u32::from(self.bits).div_ceil(8)
+    }
+
+    /// Bit positions (one per hash function) for a block address.
+    pub fn bit_positions(&self, block_start: Addr) -> [u8; 2] {
+        let a = block_start.raw();
+        let b0 = (fnv1_addr(a) % u64::from(self.bits)) as u8;
+        let b1 = (u64::from(murmur3_addr(a)) % u64::from(self.bits)) as u8;
+        [b0, b1]
+    }
+
+    /// The set-bit signature of one block under this configuration.
+    pub fn block_signature(&self, block_start: Addr) -> u64 {
+        let [b0, b1] = self.bit_positions(block_start);
+        let mut sig = 1u64 << b0;
+        if self.k == 2 {
+            sig |= 1u64 << b1;
+        }
+        sig
+    }
+
+    /// Builds a [`ContextHash`] from the blocks of a context.
+    pub fn context_hash<I>(&self, blocks: I) -> ContextHash
+    where
+        I: IntoIterator<Item = Addr>,
+    {
+        let mut bits = 0u64;
+        for b in blocks {
+            bits |= self.block_signature(b);
+        }
+        ContextHash { bits, width: self.bits }
+    }
+}
+
+/// The immediate operand of a `Cprefetch`/`CLprefetch`: the OR of the
+/// signatures of the context's predictor blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ContextHash {
+    bits: u64,
+    width: u8,
+}
+
+impl ContextHash {
+    /// Creates a context hash from raw bits (masked to `width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 64`.
+    pub fn from_bits(bits: u64, width: u8) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        ContextHash { bits: bits & mask, width }
+    }
+
+    /// The raw set bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Hash width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Whether this context's bits are a subset of `runtime_bits` — the
+    /// hardware condition under which the prefetch fires.
+    pub fn matches(&self, runtime_bits: u64) -> bool {
+        self.bits & !runtime_bits == 0
+    }
+
+    /// Encoded operand size in bytes.
+    pub fn operand_bytes(&self) -> u32 {
+        u32::from(self.width).div_ceil(8)
+    }
+}
+
+impl fmt::Display for ContextHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx[{}b]={:#x}", self.width, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §III-A: hashes of B and E are 0x2 and 0x10; the context hash is
+        // 0x12 and matches any runtime hash with bits 1 and 4 set.
+        let ctx = ContextHash::from_bits(0x12, 16);
+        assert!(ctx.matches(0x12));
+        assert!(ctx.matches(0xFF));
+        assert!(!ctx.matches(0x10)); // B absent
+        assert!(!ctx.matches(0x02)); // E absent
+        assert!(!ctx.matches(0x00));
+    }
+
+    #[test]
+    fn signature_respects_width() {
+        for bits in [4u8, 8, 16, 32, 64] {
+            let cfg = HashConfig::new(bits, 2);
+            for a in [0u64, 0x400000, 0xdeadbeef] {
+                let sig = cfg.block_signature(Addr::new(a));
+                if bits < 64 {
+                    assert!(sig < (1u64 << bits));
+                }
+                assert!(sig.count_ones() >= 1 && sig.count_ones() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn k1_uses_single_bit() {
+        let cfg = HashConfig::new(16, 1);
+        for a in [0x400000u64, 0x400040, 0x400080] {
+            assert_eq!(cfg.block_signature(Addr::new(a)).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn context_hash_is_or_of_signatures() {
+        let cfg = HashConfig::default();
+        let a = Addr::new(0x400000);
+        let b = Addr::new(0x40F000);
+        let ab = cfg.context_hash([a, b]);
+        assert_eq!(ab.bits(), cfg.block_signature(a) | cfg.block_signature(b));
+    }
+
+    #[test]
+    fn empty_context_matches_everything() {
+        let cfg = HashConfig::default();
+        let empty = cfg.context_hash([]);
+        assert!(empty.matches(0));
+    }
+
+    #[test]
+    fn operand_bytes_round_up() {
+        assert_eq!(HashConfig::new(16, 2).operand_bytes(), 2);
+        assert_eq!(HashConfig::new(12, 2).operand_bytes(), 2);
+        assert_eq!(HashConfig::new(8, 2).operand_bytes(), 1);
+        assert_eq!(HashConfig::new(64, 2).operand_bytes(), 8);
+        assert_eq!(HashConfig::new(1, 1).operand_bytes(), 1);
+    }
+
+    #[test]
+    fn from_bits_masks_to_width() {
+        let c = ContextHash::from_bits(u64::MAX, 8);
+        assert_eq!(c.bits(), 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _ = ContextHash::from_bits(0, 0);
+    }
+
+    #[test]
+    fn wider_hash_reduces_collisions() {
+        // Statistical sanity check behind Fig. 21: distinct blocks collide
+        // less often under a wider hash.
+        let narrow = HashConfig::new(4, 2);
+        let wide = HashConfig::new(32, 2);
+        let addrs: Vec<Addr> = (0..200).map(|i| Addr::new(0x400000 + i * 48)).collect();
+        let collisions = |cfg: &HashConfig| {
+            let mut n = 0;
+            for i in 0..addrs.len() {
+                for j in i + 1..addrs.len() {
+                    if cfg.block_signature(addrs[i]) == cfg.block_signature(addrs[j]) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(collisions(&wide) < collisions(&narrow));
+    }
+}

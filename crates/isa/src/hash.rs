@@ -1,0 +1,125 @@
+//! Hash functions used to compress basic-block addresses into context hashes.
+//!
+//! The paper compresses the basic-block addresses that make up a miss context
+//! with FNV-1 and MurmurHash3 (§III-A). These are the reference
+//! implementations; the same functions run "in hardware" (the simulated LBR
+//! Bloom filter) and in the offline planner, so both sides agree bit-for-bit.
+
+/// FNV-1 64-bit hash of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::hash::fnv1_64;
+///
+/// // Well-known FNV-1 vector: the empty input hashes to the offset basis.
+/// assert_eq!(fnv1_64(&[]), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1_64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h = h.wrapping_mul(PRIME);
+        h ^= u64::from(b);
+    }
+    h
+}
+
+/// MurmurHash3 (x86_32 variant) of `data` with `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::hash::murmur3_32;
+///
+/// // Published test vector.
+/// assert_eq!(murmur3_32(b"", 0), 0);
+/// assert_eq!(murmur3_32(b"", 1), 0x514E28B7);
+/// ```
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e2d51;
+    const C2: u32 = 0x1b873593;
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+        h = h.rotate_left(13);
+        h = h.wrapping_mul(5).wrapping_add(0xe6546b64);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut k = 0u32;
+        for (i, &b) in rem.iter().enumerate() {
+            k |= u32::from(b) << (8 * i);
+        }
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+    }
+    h ^= data.len() as u32;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85ebca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// FNV-1 of a little-endian `u64` — the form used for block addresses.
+pub fn fnv1_addr(addr: u64) -> u64 {
+    fnv1_64(&addr.to_le_bytes())
+}
+
+/// MurmurHash3 of a little-endian `u64` — the form used for block addresses.
+pub fn murmur3_addr(addr: u64) -> u32 {
+    murmur3_32(&addr.to_le_bytes(), 0x1_5b7 as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1_known_vectors() {
+        // From the FNV reference: fnv1_64("a") = 0xaf63bd4c8601b7be.
+        assert_eq!(fnv1_64(b"a"), 0xaf63bd4c8601b7be);
+        assert_eq!(fnv1_64(b"foobar"), 0x340d8765a4dda9c2);
+    }
+
+    #[test]
+    fn murmur3_known_vectors() {
+        assert_eq!(murmur3_32(b"test", 0), 0xba6bd213);
+        assert_eq!(murmur3_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
+        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+    }
+
+    #[test]
+    fn addr_hashes_are_stable_and_distinct() {
+        let a = fnv1_addr(0x40_0000);
+        let b = fnv1_addr(0x40_0040);
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1_addr(0x40_0000));
+        assert_ne!(murmur3_addr(0x40_0000), murmur3_addr(0x40_0040));
+    }
+
+    #[test]
+    fn murmur3_tail_handling() {
+        // Lengths 1..=7 exercise the remainder path.
+        for len in 1..=7usize {
+            let data = vec![0xABu8; len];
+            let h1 = murmur3_32(&data, 7);
+            let h2 = murmur3_32(&data, 7);
+            assert_eq!(h1, h2);
+            if len > 1 {
+                let shorter = vec![0xABu8; len - 1];
+                assert_ne!(h1, murmur3_32(&shorter, 7));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Injection maps: which prefetch ops run at which basic blocks.
+//!
+//! An [`InjectionMap`] is the reproduction's equivalent of the paper's
+//! rewritten binary: a per-block list of injected code-prefetch instructions
+//! that the simulator executes when the block is entered, plus the static
+//! footprint accounting the paper reports in Figs. 4/14.
+
+use crate::ops::PrefetchOp;
+use ispy_trace::BlockId;
+use std::collections::BTreeMap;
+
+/// A plan of injected prefetch instructions, keyed by injection site.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::{InjectionMap, PrefetchOp};
+/// use ispy_trace::{BlockId, Line};
+///
+/// let mut map = InjectionMap::new();
+/// map.push(BlockId(7), PrefetchOp::Plain { target: Line::new(42) });
+/// assert_eq!(map.num_ops(), 1);
+/// assert_eq!(map.injected_bytes(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InjectionMap {
+    per_block: BTreeMap<BlockId, Vec<PrefetchOp>>,
+}
+
+impl InjectionMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an op at `site`.
+    pub fn push(&mut self, site: BlockId, op: PrefetchOp) {
+        self.per_block.entry(site).or_default().push(op);
+    }
+
+    /// The ops injected at `site`, if any.
+    pub fn ops_at(&self, site: BlockId) -> &[PrefetchOp] {
+        self.per_block.get(&site).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates `(site, ops)` pairs in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[PrefetchOp])> {
+        self.per_block.iter().map(|(b, ops)| (*b, ops.as_slice()))
+    }
+
+    /// Number of injection sites.
+    pub fn num_sites(&self) -> usize {
+        self.per_block.len()
+    }
+
+    /// Total number of injected instructions.
+    pub fn num_ops(&self) -> usize {
+        self.per_block.values().map(Vec::len).sum()
+    }
+
+    /// Whether the map injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.per_block.is_empty()
+    }
+
+    /// Total bytes added to the text segment (static code footprint delta).
+    pub fn injected_bytes(&self) -> u64 {
+        self.per_block
+            .values()
+            .flatten()
+            .map(|op| u64::from(op.encoded_bytes()))
+            .sum()
+    }
+
+    /// Static footprint increase relative to a text segment of `text_bytes`.
+    pub fn static_increase(&self, text_bytes: u64) -> f64 {
+        if text_bytes == 0 {
+            0.0
+        } else {
+            self.injected_bytes() as f64 / text_bytes as f64
+        }
+    }
+
+    /// Count of ops by mnemonic, for reporting.
+    pub fn op_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut hist = BTreeMap::new();
+        for ops in self.per_block.values() {
+            for op in ops {
+                *hist.entry(op.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Merges another map into this one.
+    pub fn merge(&mut self, other: InjectionMap) {
+        for (site, ops) in other.per_block {
+            self.per_block.entry(site).or_default().extend(ops);
+        }
+    }
+}
+
+impl FromIterator<(BlockId, PrefetchOp)> for InjectionMap {
+    fn from_iter<I: IntoIterator<Item = (BlockId, PrefetchOp)>>(iter: I) -> Self {
+        let mut map = InjectionMap::new();
+        for (site, op) in iter {
+            map.push(site, op);
+        }
+        map
+    }
+}
+
+impl Extend<(BlockId, PrefetchOp)> for InjectionMap {
+    fn extend<I: IntoIterator<Item = (BlockId, PrefetchOp)>>(&mut self, iter: I) {
+        for (site, op) in iter {
+            self.push(site, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_trace::Line;
+
+    fn plain(l: u64) -> PrefetchOp {
+        PrefetchOp::Plain { target: Line::new(l) }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut m = InjectionMap::new();
+        m.push(BlockId(1), plain(10));
+        m.push(BlockId(1), plain(11));
+        m.push(BlockId(2), plain(12));
+        assert_eq!(m.ops_at(BlockId(1)).len(), 2);
+        assert_eq!(m.ops_at(BlockId(2)).len(), 1);
+        assert!(m.ops_at(BlockId(3)).is_empty());
+        assert_eq!(m.num_sites(), 2);
+        assert_eq!(m.num_ops(), 3);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let m: InjectionMap =
+            [(BlockId(0), plain(1)), (BlockId(0), plain(2))].into_iter().collect();
+        assert_eq!(m.injected_bytes(), 14);
+        assert!((m.static_increase(1400) - 0.01).abs() < 1e-12);
+        assert_eq!(m.static_increase(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_mnemonics() {
+        let mut m = InjectionMap::new();
+        m.push(BlockId(0), plain(1));
+        m.push(BlockId(1), plain(2));
+        let hist = m.op_histogram();
+        assert_eq!(hist.get("prefetch"), Some(&2));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a: InjectionMap = [(BlockId(0), plain(1))].into_iter().collect();
+        let b: InjectionMap =
+            [(BlockId(0), plain(2)), (BlockId(9), plain(3))].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.ops_at(BlockId(0)).len(), 2);
+        assert_eq!(a.num_sites(), 2);
+    }
+
+    #[test]
+    fn iter_is_in_block_order() {
+        let m: InjectionMap =
+            [(BlockId(9), plain(1)), (BlockId(3), plain(2))].into_iter().collect();
+        let sites: Vec<_> = m.iter().map(|(b, _)| b.0).collect();
+        assert_eq!(sites, vec![3, 9]);
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = InjectionMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.injected_bytes(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The I-SPY code-prefetch instruction family.
+//!
+//! The paper (§III) proposes extending the ISA with a family of light-weight
+//! *code* prefetch instructions, mirroring existing data-prefetch
+//! instructions (`prefetcht*` on x86, `pli` on ARM):
+//!
+//! | instruction  | operands            | semantics |
+//! |--------------|---------------------|-----------|
+//! | `prefetch`   | `addr`              | prefetch one I-line (AsmDB-style) |
+//! | `Cprefetch`  | `addr, ctx`         | prefetch only if the context hash matches the LBR-derived runtime hash |
+//! | `Lprefetch`  | `addr, bitvec`      | prefetch `addr` plus the lines selected by the bit-vector |
+//! | `CLprefetch` | `addr, ctx, bitvec` | conditional **and** coalesced |
+//!
+//! This crate defines those instructions ([`PrefetchOp`]), their encodings
+//! and byte sizes (for static-footprint accounting), the context-hash
+//! machinery ([`ContextHash`], [`HashConfig`], FNV-1 / MurmurHash3), and the
+//! [`InjectionMap`] a planner hands to the simulator — the moral equivalent
+//! of the rewritten binary the paper deploys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod hash;
+pub mod injection;
+pub mod ops;
+
+pub use context::{ContextHash, HashConfig};
+pub use injection::InjectionMap;
+pub use ops::{CoalesceMask, PrefetchOp};

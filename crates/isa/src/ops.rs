@@ -1,0 +1,305 @@
+//! The prefetch operations and their encodings.
+
+use crate::context::ContextHash;
+use ispy_trace::Line;
+use std::fmt;
+
+/// Byte size of a plain code-prefetch instruction; matches `prefetcht*` on
+/// x86 (§III-B: "The prefetcht* instruction on x86 has a size of 7 bytes").
+pub const BASE_PREFETCH_BYTES: u32 = 7;
+
+/// A coalescing bit-vector: bit `i` selects line `base + 1 + i`.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::CoalesceMask;
+/// use ispy_trace::Line;
+///
+/// // Paper Fig. 8: base 0x2 with lines 0x4 and 0x7 coalesced.
+/// let mask = CoalesceMask::from_lines(Line::new(0x2), [Line::new(0x4), Line::new(0x7)], 8).unwrap();
+/// let lines: Vec<_> = mask.decode(Line::new(0x2)).collect();
+/// assert_eq!(lines, vec![Line::new(0x4), Line::new(0x7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoalesceMask {
+    bits: u64,
+    width: u8,
+}
+
+impl CoalesceMask {
+    /// Creates a mask from raw bits, truncated to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 64`.
+    pub fn from_bits(bits: u64, width: u8) -> Self {
+        assert!((1..=64).contains(&width), "mask width must be 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        CoalesceMask { bits: bits & mask, width }
+    }
+
+    /// Encodes the given extra lines relative to `base`.
+    ///
+    /// Returns `None` if any line is `base` itself, precedes `base`, or falls
+    /// outside the `width`-line window after `base`.
+    pub fn from_lines<I>(base: Line, lines: I, width: u8) -> Option<Self>
+    where
+        I: IntoIterator<Item = Line>,
+    {
+        let mut bits = 0u64;
+        for l in lines {
+            let d = l.distance_from(base)?;
+            if d == 0 || d > u64::from(width) {
+                return None;
+            }
+            bits |= 1 << (d - 1);
+        }
+        Some(CoalesceMask { bits, width })
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Window width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Number of extra lines selected.
+    pub fn extra_lines(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Iterates the extra lines (excluding the base itself).
+    pub fn decode(&self, base: Line) -> impl Iterator<Item = Line> + '_ {
+        let bits = self.bits;
+        (0..u64::from(self.width)).filter_map(move |i| {
+            if bits & (1 << i) != 0 {
+                Some(base.offset(i + 1))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Encoded operand size in bytes.
+    pub fn operand_bytes(&self) -> u32 {
+        u32::from(self.width).div_ceil(8)
+    }
+}
+
+impl fmt::Display for CoalesceMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mask[{}b]={:#b}", self.width, self.bits)
+    }
+}
+
+/// One injected code-prefetch instruction (§III / §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchOp {
+    /// `prefetch addr` — unconditional single line (the AsmDB baseline form).
+    Plain {
+        /// Line to prefetch.
+        target: Line,
+    },
+    /// `Cprefetch addr, ctx` — fires only when `ctx` matches the runtime hash.
+    Cond {
+        /// Line to prefetch.
+        target: Line,
+        /// Context under which the prefetch fires.
+        ctx: ContextHash,
+    },
+    /// `Lprefetch addr, bitvec` — base line plus coalesced extra lines.
+    Coalesced {
+        /// Base line (always prefetched).
+        base: Line,
+        /// Extra lines, encoded relative to `base`.
+        mask: CoalesceMask,
+    },
+    /// `CLprefetch addr, ctx, bitvec` — conditional and coalesced.
+    CondCoalesced {
+        /// Base line (prefetched when `ctx` matches).
+        base: Line,
+        /// Extra lines, encoded relative to `base`.
+        mask: CoalesceMask,
+        /// Context under which the prefetch fires.
+        ctx: ContextHash,
+    },
+}
+
+impl PrefetchOp {
+    /// The instruction mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            PrefetchOp::Plain { .. } => "prefetch",
+            PrefetchOp::Cond { .. } => "Cprefetch",
+            PrefetchOp::Coalesced { .. } => "Lprefetch",
+            PrefetchOp::CondCoalesced { .. } => "CLprefetch",
+        }
+    }
+
+    /// Encoded instruction size in bytes — what injection adds to the text
+    /// segment (static code footprint).
+    pub fn encoded_bytes(&self) -> u32 {
+        match self {
+            PrefetchOp::Plain { .. } => BASE_PREFETCH_BYTES,
+            PrefetchOp::Cond { ctx, .. } => BASE_PREFETCH_BYTES + ctx.operand_bytes(),
+            PrefetchOp::Coalesced { mask, .. } => BASE_PREFETCH_BYTES + mask.operand_bytes(),
+            PrefetchOp::CondCoalesced { mask, ctx, .. } => {
+                BASE_PREFETCH_BYTES + mask.operand_bytes() + ctx.operand_bytes()
+            }
+        }
+    }
+
+    /// The condition, if any.
+    pub fn condition(&self) -> Option<ContextHash> {
+        match self {
+            PrefetchOp::Cond { ctx, .. } | PrefetchOp::CondCoalesced { ctx, .. } => Some(*ctx),
+            _ => None,
+        }
+    }
+
+    /// The base/primary target line.
+    pub fn base_line(&self) -> Line {
+        match self {
+            PrefetchOp::Plain { target } | PrefetchOp::Cond { target, .. } => *target,
+            PrefetchOp::Coalesced { base, .. } | PrefetchOp::CondCoalesced { base, .. } => *base,
+        }
+    }
+
+    /// All lines this op prefetches when it fires (base first).
+    pub fn target_lines(&self) -> Vec<Line> {
+        match self {
+            PrefetchOp::Plain { target } | PrefetchOp::Cond { target, .. } => vec![*target],
+            PrefetchOp::Coalesced { base, mask }
+            | PrefetchOp::CondCoalesced { base, mask, .. } => {
+                let mut v = Vec::with_capacity(1 + mask.extra_lines() as usize);
+                v.push(*base);
+                v.extend(mask.decode(*base));
+                v
+            }
+        }
+    }
+
+    /// Whether the op fires under `runtime_bits` (unconditional ops always fire).
+    pub fn fires(&self, runtime_bits: u64) -> bool {
+        match self.condition() {
+            Some(ctx) => ctx.matches(runtime_bits),
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for PrefetchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefetchOp::Plain { target } => write!(f, "prefetch {target}"),
+            PrefetchOp::Cond { target, ctx } => write!(f, "Cprefetch {target}, {ctx}"),
+            PrefetchOp::Coalesced { base, mask } => write!(f, "Lprefetch {base}, {mask}"),
+            PrefetchOp::CondCoalesced { base, mask, ctx } => {
+                write!(f, "CLprefetch {base}, {ctx}, {mask}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::HashConfig;
+    use ispy_trace::Addr;
+
+    fn ctx16() -> ContextHash {
+        HashConfig::default().context_hash([Addr::new(0x400000), Addr::new(0x400100)])
+    }
+
+    #[test]
+    fn paper_encoding_sizes() {
+        // §III-B: prefetcht* is 7 bytes; Lprefetch with an 8-bit mask is 8.
+        let l = PrefetchOp::Coalesced {
+            base: Line::new(1),
+            mask: CoalesceMask::from_bits(0b101, 8),
+        };
+        assert_eq!(l.encoded_bytes(), 8);
+        let p = PrefetchOp::Plain { target: Line::new(1) };
+        assert_eq!(p.encoded_bytes(), 7);
+        // 16-bit context hash makes Cprefetch 9 bytes and CLprefetch 10.
+        let c = PrefetchOp::Cond { target: Line::new(1), ctx: ctx16() };
+        assert_eq!(c.encoded_bytes(), 9);
+        let cl = PrefetchOp::CondCoalesced {
+            base: Line::new(1),
+            mask: CoalesceMask::from_bits(0b1, 8),
+            ctx: ctx16(),
+        };
+        assert_eq!(cl.encoded_bytes(), 10);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let base = Line::new(100);
+        let lines = [Line::new(101), Line::new(104), Line::new(108)];
+        let mask = CoalesceMask::from_lines(base, lines, 8).unwrap();
+        let decoded: Vec<_> = mask.decode(base).collect();
+        assert_eq!(decoded, lines);
+        assert_eq!(mask.extra_lines(), 3);
+    }
+
+    #[test]
+    fn mask_rejects_out_of_window() {
+        let base = Line::new(100);
+        assert!(CoalesceMask::from_lines(base, [Line::new(109)], 8).is_none());
+        assert!(CoalesceMask::from_lines(base, [Line::new(100)], 8).is_none());
+        assert!(CoalesceMask::from_lines(base, [Line::new(99)], 8).is_none());
+        assert!(CoalesceMask::from_lines(base, [Line::new(108)], 8).is_some());
+    }
+
+    #[test]
+    fn target_lines_include_base_first() {
+        let op = PrefetchOp::Coalesced {
+            base: Line::new(10),
+            mask: CoalesceMask::from_bits(0b11, 8),
+        };
+        assert_eq!(op.target_lines(), vec![Line::new(10), Line::new(11), Line::new(12)]);
+    }
+
+    #[test]
+    fn conditional_ops_respect_runtime_hash() {
+        let ctx = ContextHash::from_bits(0b110, 16);
+        let op = PrefetchOp::Cond { target: Line::new(5), ctx };
+        assert!(op.fires(0b111));
+        assert!(!op.fires(0b100));
+        let plain = PrefetchOp::Plain { target: Line::new(5) };
+        assert!(plain.fires(0));
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(PrefetchOp::Plain { target: Line::new(0) }.mnemonic(), "prefetch");
+        assert_eq!(
+            PrefetchOp::Cond { target: Line::new(0), ctx: ctx16() }.mnemonic(),
+            "Cprefetch"
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let op = PrefetchOp::CondCoalesced {
+            base: Line::new(2),
+            mask: CoalesceMask::from_bits(0b10010, 8),
+            ctx: ctx16(),
+        };
+        assert!(op.to_string().starts_with("CLprefetch"));
+    }
+
+    #[test]
+    fn wide_mask_supports_64_lines() {
+        let base = Line::new(0);
+        let far = Line::new(64);
+        let m = CoalesceMask::from_lines(base, [far], 64).unwrap();
+        assert_eq!(m.decode(base).collect::<Vec<_>>(), vec![far]);
+        assert_eq!(m.operand_bytes(), 8);
+    }
+}

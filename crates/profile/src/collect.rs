@@ -1,0 +1,273 @@
+//! The profiling pass: replay under observation, splice LBR + PEBS views.
+
+use crate::dyncfg::DynCfg;
+use crate::miss::MissProfile;
+use ispy_sim::{run, RunOptions, SimConfig, SimObserver};
+use ispy_trace::{BlockId, Line, Program, Trace};
+use std::collections::{HashMap, VecDeque};
+
+/// PEBS-style sampling rate: record every `n`-th miss.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_profile::SampleRate;
+///
+/// assert_eq!(SampleRate::EXACT.period(), 1);
+/// assert_eq!(SampleRate::every(100).period(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleRate(u32);
+
+impl SampleRate {
+    /// Record every miss (exact profile).
+    pub const EXACT: SampleRate = SampleRate(1);
+
+    /// Record every `n`-th miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn every(n: u32) -> Self {
+        assert!(n > 0, "sampling period must be positive");
+        SampleRate(n)
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for SampleRate {
+    fn default() -> Self {
+        SampleRate::EXACT
+    }
+}
+
+/// The output of a profiling pass: the paper's miss-annotated dynamic CFG.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The weighted dynamic CFG with per-block cycle costs.
+    pub cfg: DynCfg,
+    /// Per-line miss statistics.
+    pub misses: MissProfile,
+    /// Length of the profiled trace in block events.
+    pub trace_len: usize,
+    /// LBR depth used for history snapshots.
+    pub lbr_depth: usize,
+}
+
+/// The observer that does the work.
+struct Collector {
+    lbr_depth: usize,
+    sample_period: u32,
+    sample_tick: u32,
+    window: VecDeque<BlockId>,
+    window_vec: Vec<BlockId>,
+    exec: Vec<u64>,
+    cycles_sum: Vec<u64>,
+    edges: HashMap<(u32, u32), u64>,
+    misses: MissProfile,
+    prev: Option<(BlockId, u64)>,
+    last_cycle: u64,
+}
+
+impl Collector {
+    fn new(num_blocks: usize, lbr_depth: usize, rate: SampleRate) -> Self {
+        Collector {
+            lbr_depth,
+            sample_period: rate.period(),
+            sample_tick: 0,
+            window: VecDeque::with_capacity(lbr_depth + 1),
+            window_vec: Vec::with_capacity(lbr_depth),
+            exec: vec![0; num_blocks],
+            cycles_sum: vec![0; num_blocks],
+            edges: HashMap::new(),
+            misses: MissProfile::new(),
+            prev: None,
+            last_cycle: 0,
+        }
+    }
+}
+
+impl SimObserver for Collector {
+    fn block_entered(&mut self, _idx: usize, block: BlockId, cycle: u64) {
+        self.exec[block.index()] += 1;
+        if let Some((prev, prev_cycle)) = self.prev {
+            *self.edges.entry((prev.0, block.0)).or_insert(0) += 1;
+            // The cycles "charged" to the previous block: delta between
+            // consecutive block entries, like LBR cycle counts.
+            self.cycles_sum[prev.index()] += cycle - prev_cycle;
+        }
+        self.prev = Some((block, cycle));
+        self.last_cycle = cycle;
+        self.window.push_back(block);
+        if self.window.len() > self.lbr_depth {
+            self.window.pop_front();
+        }
+    }
+
+    fn icache_miss(&mut self, idx: usize, block: BlockId, line: Line, _cycle: u64) {
+        self.sample_tick += 1;
+        if self.sample_tick < self.sample_period {
+            return;
+        }
+        self.sample_tick = 0;
+        self.window_vec.clear();
+        self.window_vec.extend(self.window.iter().copied());
+        self.misses.record(line, block, idx as u32, &self.window_vec);
+    }
+}
+
+/// Runs the profiling replay and assembles the [`Profile`].
+///
+/// The replay uses the *baseline* machine (no injections, no prefetcher):
+/// profiles are collected on the unmodified binary, exactly as in the
+/// paper's usage model.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_profile::{profile, SampleRate};
+/// use ispy_sim::SimConfig;
+/// use ispy_trace::apps;
+///
+/// let model = apps::verilator().scaled_down(40);
+/// let program = model.generate();
+/// let trace = program.record_trace(model.default_input(), 10_000);
+/// let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+/// assert_eq!(prof.trace_len, 10_000);
+/// ```
+pub fn profile(
+    program: &Program,
+    trace: &Trace,
+    sim_cfg: &SimConfig,
+    rate: SampleRate,
+) -> Profile {
+    let mut collector = Collector::new(program.num_blocks(), sim_cfg.lbr_depth, rate);
+    run(
+        program,
+        trace,
+        sim_cfg,
+        RunOptions { observer: Some(&mut collector), ..Default::default() },
+    );
+
+    // Second pass under an ideal I-cache for the per-block *cycle* costs.
+    //
+    // Prefetch distances must be measured in the cycles the program takes
+    // once its instruction misses are covered — the front-end stalls the
+    // prefetches will remove must not count toward the distance, or every
+    // window estimate is inflated by exactly the stalls being eliminated
+    // (sites end up too close and prefetches arrive late). This mirrors the
+    // paper's use of LBR cycle counts from production machines, where the
+    // profiled binary already runs with prefetching largely effective.
+    let mut cycles_collector =
+        Collector::new(program.num_blocks(), sim_cfg.lbr_depth, SampleRate::EXACT);
+    let ideal_cfg = SimConfig { ideal_icache: true, ..sim_cfg.clone() };
+    let ideal_result = run(
+        program,
+        trace,
+        &ideal_cfg,
+        RunOptions { observer: Some(&mut cycles_collector), ..Default::default() },
+    );
+    // Close the last block's cycle interval with the final cycle count.
+    if let Some((last, entered)) = cycles_collector.prev {
+        cycles_collector.cycles_sum[last.index()] +=
+            ideal_result.cycles.saturating_sub(entered);
+    }
+    let avg_cycles: Vec<f64> = cycles_collector
+        .exec
+        .iter()
+        .zip(&cycles_collector.cycles_sum)
+        .map(|(&n, &sum)| if n == 0 { 0.0 } else { sum as f64 / n as f64 })
+        .collect();
+
+    Profile {
+        cfg: DynCfg::new(collector.exec, avg_cycles, &collector.edges),
+        misses: collector.misses,
+        trace_len: trace.len(),
+        lbr_depth: sim_cfg.lbr_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_trace::apps;
+
+    fn prof() -> (Program, Trace, Profile) {
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 30_000);
+        let p = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        (program, trace, p)
+    }
+
+    use ispy_trace::Program;
+
+    #[test]
+    fn exec_counts_match_trace() {
+        let (program, trace, p) = prof();
+        let counts = trace.exec_counts(program.num_blocks());
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(p.cfg.exec_count(BlockId(i as u32)), c);
+        }
+    }
+
+    #[test]
+    fn edges_sum_to_events_minus_one() {
+        let (_, trace, p) = prof();
+        let edge_total: u64 =
+            (0..p.cfg.num_blocks()).map(|i| {
+                p.cfg.succs(BlockId(i as u32)).iter().map(|&(_, w)| w).sum::<u64>()
+            }).sum();
+        assert_eq!(edge_total, trace.len() as u64 - 1);
+    }
+
+    #[test]
+    fn misses_match_simulator() {
+        let (program, trace, p) = prof();
+        let r = run(&program, &trace, &SimConfig::default(), RunOptions::default());
+        assert_eq!(p.misses.total_misses(), r.i_misses);
+    }
+
+    #[test]
+    fn sampling_reduces_recorded_misses() {
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 20_000);
+        let exact = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let sampled = profile(&program, &trace, &SimConfig::default(), SampleRate::every(10));
+        assert!(sampled.misses.total_misses() <= exact.misses.total_misses() / 9);
+        assert!(sampled.misses.total_misses() > 0);
+    }
+
+    #[test]
+    fn avg_cycles_are_positive_for_live_blocks() {
+        let (_, _, p) = prof();
+        let mut live = 0;
+        for b in p.cfg.live_blocks() {
+            live += 1;
+            assert!(
+                p.cfg.avg_cycles(b) >= 0.0,
+                "avg cycles must be non-negative for {b}"
+            );
+        }
+        assert!(live > 100);
+        // At least some blocks have a measurable cost.
+        let any_positive = p.cfg.live_blocks().any(|b| p.cfg.avg_cycles(b) > 0.5);
+        assert!(any_positive);
+    }
+
+    #[test]
+    fn history_windows_are_bounded_by_lbr_depth() {
+        let (_, _, p) = prof();
+        for (_, stats) in p.misses.iter() {
+            // Presence counts cannot exceed the sample count.
+            for (_, &c) in &stats.history_presence {
+                assert!(c <= stats.count);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-missing-line statistics (the PEBS side of the profile).
+
+use ispy_trace::{BlockId, Line};
+use std::collections::HashMap;
+
+/// Everything the profiler learned about one missing I-cache line.
+#[derive(Debug, Clone, Default)]
+pub struct LineMissStats {
+    /// Sampled miss count.
+    pub count: u64,
+    /// Blocks that were executing when the line missed, with counts.
+    /// (A line can miss from several blocks when blocks share a line.)
+    pub at_blocks: HashMap<BlockId, u64>,
+    /// For each block, how many sampled misses had it in the 32-deep
+    /// history window — the raw material for predictor-block mining.
+    pub history_presence: HashMap<BlockId, u64>,
+    /// Trace positions (block indices) of the sampled misses, ascending.
+    pub positions: Vec<u32>,
+}
+
+impl LineMissStats {
+    /// The block that most often triggers this miss.
+    pub fn dominant_block(&self) -> Option<BlockId> {
+        self.at_blocks.iter().max_by_key(|&(b, &c)| (c, std::cmp::Reverse(b.0))).map(|(&b, _)| b)
+    }
+
+    /// History blocks ranked by presence frequency (descending), excluding
+    /// any block in `exclude`.
+    pub fn ranked_predictors(&self, exclude: &[BlockId]) -> Vec<(BlockId, u64)> {
+        let mut v: Vec<(BlockId, u64)> = self
+            .history_presence
+            .iter()
+            .filter(|(b, _)| !exclude.contains(b))
+            .map(|(&b, &c)| (b, c))
+            .collect();
+        v.sort_by_key(|&(b, c)| (std::cmp::Reverse(c), b));
+        v
+    }
+
+    /// First sampled miss at or after trace position `idx`, if any.
+    pub fn next_miss_at_or_after(&self, idx: u32) -> Option<u32> {
+        let i = self.positions.partition_point(|&p| p < idx);
+        self.positions.get(i).copied()
+    }
+}
+
+/// All missing lines observed by a profiling pass.
+#[derive(Debug, Clone, Default)]
+pub struct MissProfile {
+    by_line: HashMap<u64, LineMissStats>,
+    total: u64,
+}
+
+impl MissProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sampled miss of `line` at `block`, trace position `idx`,
+    /// with the 32-deep history window `history`.
+    pub fn record(&mut self, line: Line, block: BlockId, idx: u32, history: &[BlockId]) {
+        let stats = self.by_line.entry(line.raw()).or_default();
+        stats.count += 1;
+        *stats.at_blocks.entry(block).or_insert(0) += 1;
+        // Presence, not multiplicity: each distinct block counts once per
+        // sample (the Bloom filter tests presence only).
+        let mut seen = Vec::with_capacity(history.len());
+        for &h in history {
+            if !seen.contains(&h) {
+                seen.push(h);
+                *stats.history_presence.entry(h).or_insert(0) += 1;
+            }
+        }
+        stats.positions.push(idx);
+        self.total += 1;
+    }
+
+    /// Stats for `line`, if it ever missed.
+    pub fn line(&self, line: Line) -> Option<&LineMissStats> {
+        self.by_line.get(&line.raw())
+    }
+
+    /// Total sampled misses.
+    pub fn total_misses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct missing lines.
+    pub fn num_lines(&self) -> usize {
+        self.by_line.len()
+    }
+
+    /// Missing lines ordered by miss count, heaviest first.
+    pub fn lines_by_count(&self) -> Vec<(Line, &LineMissStats)> {
+        let mut v: Vec<(Line, &LineMissStats)> =
+            self.by_line.iter().map(|(&raw, s)| (Line::new(raw), s)).collect();
+        v.sort_by_key(|&(l, s)| (std::cmp::Reverse(s.count), l));
+        v
+    }
+
+    /// Iterates all `(line, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Line, &LineMissStats)> {
+        self.by_line.iter().map(|(&raw, s)| (Line::new(raw), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut mp = MissProfile::new();
+        let l = Line::new(100);
+        mp.record(l, b(5), 10, &[b(1), b(2), b(1)]);
+        mp.record(l, b(5), 20, &[b(2), b(3)]);
+        let s = mp.line(l).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.at_blocks[&b(5)], 2);
+        // b(1) appeared twice in one sample -> presence counted once.
+        assert_eq!(s.history_presence[&b(1)], 1);
+        assert_eq!(s.history_presence[&b(2)], 2);
+        assert_eq!(s.positions, vec![10, 20]);
+        assert_eq!(mp.total_misses(), 2);
+        assert_eq!(mp.num_lines(), 1);
+    }
+
+    #[test]
+    fn dominant_block() {
+        let mut mp = MissProfile::new();
+        let l = Line::new(7);
+        mp.record(l, b(1), 0, &[]);
+        mp.record(l, b(2), 1, &[]);
+        mp.record(l, b(2), 2, &[]);
+        assert_eq!(mp.line(l).unwrap().dominant_block(), Some(b(2)));
+    }
+
+    #[test]
+    fn ranked_predictors_order_and_exclusion() {
+        let mut mp = MissProfile::new();
+        let l = Line::new(7);
+        mp.record(l, b(9), 0, &[b(1), b(2)]);
+        mp.record(l, b(9), 1, &[b(2)]);
+        mp.record(l, b(9), 2, &[b(2), b(3)]);
+        let s = mp.line(l).unwrap();
+        let ranked = s.ranked_predictors(&[]);
+        assert_eq!(ranked[0], (b(2), 3));
+        let without = s.ranked_predictors(&[b(2)]);
+        assert!(without.iter().all(|&(blk, _)| blk != b(2)));
+    }
+
+    #[test]
+    fn next_miss_lookup() {
+        let mut mp = MissProfile::new();
+        let l = Line::new(1);
+        for idx in [5u32, 10, 20] {
+            mp.record(l, b(0), idx, &[]);
+        }
+        let s = mp.line(l).unwrap();
+        assert_eq!(s.next_miss_at_or_after(0), Some(5));
+        assert_eq!(s.next_miss_at_or_after(5), Some(5));
+        assert_eq!(s.next_miss_at_or_after(6), Some(10));
+        assert_eq!(s.next_miss_at_or_after(21), None);
+    }
+
+    #[test]
+    fn lines_by_count_sorted() {
+        let mut mp = MissProfile::new();
+        mp.record(Line::new(1), b(0), 0, &[]);
+        mp.record(Line::new(2), b(0), 1, &[]);
+        mp.record(Line::new(2), b(0), 2, &[]);
+        let order: Vec<u64> = mp.lines_by_count().iter().map(|(l, _)| l.raw()).collect();
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn missing_line_lookup_is_none() {
+        let mp = MissProfile::new();
+        assert!(mp.line(Line::new(42)).is_none());
+        assert_eq!(mp.total_misses(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation configuration (the paper's Table I system).
+
+use crate::cache::{CacheParams, InsertPriority};
+use ispy_isa::HashConfig;
+
+/// Access latencies in cycles (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Latencies {
+    /// L1 instruction cache hit latency.
+    pub l1i: u32,
+    /// L1 data cache hit latency.
+    pub l1d: u32,
+    /// L2 unified cache latency.
+    pub l2: u32,
+    /// L3 unified cache latency.
+    pub l3: u32,
+    /// Memory latency.
+    pub mem: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies { l1i: 3, l1d: 4, l2: 12, l3: 36, mem: 260 }
+    }
+}
+
+/// Full simulator configuration.
+///
+/// Defaults reproduce the paper's simulated system (Table I): 32 KiB 8-way
+/// L1I/L1D, 1 MiB 16-way L2, 10 MiB 20-way L3, 2.5 GHz all-core turbo (only
+/// latency ratios matter here), a 4-wide core, a 32-entry LBR, and a 16-bit
+/// context hash backed by two hash functions.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_sim::SimConfig;
+///
+/// let cfg = SimConfig::default();
+/// assert_eq!(cfg.l1i.num_lines(), 512);
+/// assert!(!cfg.ideal_icache);
+/// assert!(SimConfig::ideal().ideal_icache);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheParams,
+    /// L1 data cache geometry.
+    pub l1d: CacheParams,
+    /// Unified L2 geometry.
+    pub l2: CacheParams,
+    /// Unified (per-socket share) L3 geometry.
+    pub l3: CacheParams,
+    /// Access latencies.
+    pub lat: Latencies,
+    /// Superscalar issue width.
+    pub issue_width: u32,
+    /// When set, every instruction fetch hits — the paper's "ideal cache"
+    /// upper bound.
+    pub ideal_icache: bool,
+    /// Context-hash scheme shared by hardware and planner.
+    pub hash: HashConfig,
+    /// LBR depth (32 on x86-64).
+    pub lbr_depth: usize,
+    /// Insertion priority for prefetched lines (§III-B: half priority).
+    pub prefetch_insert: InsertPriority,
+    /// Fraction of a data-miss latency that shows up as backend stall (the
+    /// OoO core hides the rest).
+    pub d_stall_factor: f64,
+    /// Fraction of data accesses that stream through the working set rather
+    /// than reusing a block-affine location.
+    pub d_stream_frac: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            l1i: CacheParams::new(32 * 1024, 8),
+            l1d: CacheParams::new(32 * 1024, 8),
+            l2: CacheParams::new(1024 * 1024, 16),
+            l3: CacheParams::new(10 * 1024 * 1024, 20),
+            lat: Latencies::default(),
+            issue_width: 4,
+            ideal_icache: false,
+            hash: HashConfig::default(),
+            lbr_depth: 32,
+            prefetch_insert: InsertPriority::Half,
+            d_stall_factor: 0.3,
+            d_stream_frac: 0.25,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The ideal-cache configuration (no I-cache misses), used as the upper
+    /// bound in Figs. 3, 10, 16–19.
+    pub fn ideal() -> Self {
+        SimConfig { ideal_icache: true, ..SimConfig::default() }
+    }
+
+    /// Returns this configuration with a different context-hash scheme
+    /// (Fig. 21 sweeps hash width).
+    #[must_use]
+    pub fn with_hash(mut self, hash: HashConfig) -> Self {
+        self.hash = hash;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l1i.ways, 8);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.l3.size_bytes, 10 * 1024 * 1024);
+        assert_eq!(c.l3.ways, 20);
+        assert_eq!(c.lat.l1i, 3);
+        assert_eq!(c.lat.l1d, 4);
+        assert_eq!(c.lat.l2, 12);
+        assert_eq!(c.lat.l3, 36);
+        assert_eq!(c.lat.mem, 260);
+        assert_eq!(c.lbr_depth, 32);
+        assert_eq!(c.hash.bits(), 16);
+    }
+
+    #[test]
+    fn ideal_flag() {
+        assert!(SimConfig::ideal().ideal_icache);
+        assert!(!SimConfig::default().ideal_icache);
+    }
+
+    #[test]
+    fn with_hash_overrides() {
+        let c = SimConfig::default().with_hash(HashConfig::new(32, 2));
+        assert_eq!(c.hash.bits(), 32);
+    }
+}

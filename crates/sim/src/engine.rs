@@ -1,0 +1,620 @@
+//! The trace-replay engine: executes a block trace against the hierarchy,
+//! running injected prefetch instructions with their conditional/coalesced
+//! semantics, and charges cycles.
+//!
+//! ## Timing model
+//!
+//! Per block event:
+//!
+//! 1. The block's entry is pushed into the LBR (updating the Bloom filter).
+//! 2. Injected prefetch ops at the block execute: each costs one issued
+//!    instruction; conditional ops check the Bloom runtime hash; firing ops
+//!    issue line requests that complete after the line's current residency
+//!    latency, then fill L1I at the configured (half) priority.
+//! 3. Each I-line the block spans is fetched: L1I hit = no stall; miss
+//!    stalls for `lat(level) − lat(L1I)`; a line still in flight from a
+//!    prefetch stalls only for the remaining time (late prefetch).
+//! 4. Data accesses run against L1D/L2/L3 with a fractional stall charge
+//!    (the OoO backend hides most data latency).
+//! 5. Issue bandwidth: `ceil(instrs / width)` cycles.
+//!
+//! Absolute cycle counts are a simplification of the authors' ZSim setup;
+//! the harness only interprets *relative* results (speedups, fractions of
+//! ideal), which is also how the paper reports its evaluation.
+
+use crate::config::SimConfig;
+use crate::hierarchy::Hierarchy;
+use crate::lbr::Lbr;
+use crate::metrics::SimResult;
+use ispy_isa::InjectionMap;
+use ispy_trace::{BlockId, Line, Program, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Data lines live in a disjoint address range from code lines.
+const DATA_LINE_BASE: u64 = 1 << 40;
+
+/// Callbacks the engine raises during replay; used by the profiler.
+pub trait SimObserver {
+    /// A block is about to execute at `cycle` (trace position `idx`).
+    fn block_entered(&mut self, idx: usize, block: BlockId, cycle: u64) {
+        let _ = (idx, block, cycle);
+    }
+
+    /// A demand instruction fetch missed L1I.
+    fn icache_miss(&mut self, idx: usize, block: BlockId, line: Line, cycle: u64) {
+        let _ = (idx, block, line, cycle);
+    }
+}
+
+/// An observer that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+/// A hardware prefetcher hook (used by the next-line baselines).
+pub trait HwPrefetcher {
+    /// Called on every demand instruction fetch; push lines to prefetch into
+    /// `out`.
+    fn on_fetch(&mut self, line: Line, was_miss: bool, out: &mut Vec<Line>);
+}
+
+/// Optional attachments for a run.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Injected code-prefetch instructions (the rewritten binary).
+    pub injections: Option<&'a InjectionMap>,
+    /// A hardware prefetcher observing the fetch stream.
+    pub hw_prefetcher: Option<&'a mut dyn HwPrefetcher>,
+    /// An observer receiving replay events.
+    pub observer: Option<&'a mut dyn SimObserver>,
+}
+
+/// In-flight prefetch bookkeeping.
+struct Inflight {
+    by_line: HashMap<u64, u64>,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight { by_line: HashMap::new(), queue: BinaryHeap::new() }
+    }
+
+    fn insert(&mut self, line: Line, completion: u64) {
+        self.by_line.insert(line.raw(), completion);
+        self.queue.push(Reverse((completion, line.raw())));
+    }
+
+    fn get(&self, line: Line) -> Option<u64> {
+        self.by_line.get(&line.raw()).copied()
+    }
+
+    fn remove(&mut self, line: Line) {
+        self.by_line.remove(&line.raw());
+        // The heap entry becomes stale and is skipped when popped.
+    }
+
+    /// Pops lines whose prefetch has completed by `now`.
+    fn drain_completed(&mut self, now: u64, mut f: impl FnMut(Line)) {
+        while let Some(&Reverse((completion, raw))) = self.queue.peek() {
+            if completion > now {
+                break;
+            }
+            self.queue.pop();
+            // Skip stale entries (line demanded or re-issued meanwhile).
+            if self.by_line.get(&raw) == Some(&completion) {
+                self.by_line.remove(&raw);
+                f(Line::new(raw));
+            }
+        }
+    }
+}
+
+/// Replays `trace` through the simulated machine.
+///
+/// # Panics
+///
+/// Panics if the trace references blocks outside `program`.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::{InjectionMap, PrefetchOp};
+/// use ispy_sim::{run, RunOptions, SimConfig};
+/// use ispy_trace::apps;
+///
+/// let model = apps::tomcat().scaled_down(40);
+/// let program = model.generate();
+/// let trace = program.record_trace(model.default_input(), 5_000);
+/// let result = run(&program, &trace, &SimConfig::default(), RunOptions::default());
+/// assert_eq!(result.blocks, 5_000);
+/// ```
+pub fn run(
+    program: &Program,
+    trace: &Trace,
+    cfg: &SimConfig,
+    mut opts: RunOptions<'_>,
+) -> SimResult {
+    let mut hier = Hierarchy::new(cfg);
+    let mut lbr = Lbr::new(cfg.lbr_depth, cfg.hash);
+    let mut inflight = Inflight::new();
+    let mut m = SimResult::default();
+    let mut cycle: u64 = 0;
+    let mut hw_out: Vec<Line> = Vec::new();
+    let data_lines = program.data_footprint_lines();
+    let mut stream_counter: u64 = 0;
+    let stream_threshold = (cfg.d_stream_frac * 100.0) as u64;
+
+    let empty_map = InjectionMap::new();
+    let injections = opts.injections.unwrap_or(&empty_map);
+
+    for (idx, block_id) in trace.iter().enumerate() {
+        let block = program.block(block_id);
+        m.blocks += 1;
+
+        if let Some(obs) = opts.observer.as_deref_mut() {
+            obs.block_entered(idx, block_id, cycle);
+        }
+
+        // 1. Retire the branch into this block.
+        lbr.push(block.start());
+
+        // 2. Drain prefetches that completed before this block.
+        inflight.drain_completed(cycle, |line| {
+            if hier.prefetch_fill(line) {
+                m.pf_evicted_unused += 1;
+            }
+        });
+
+        // 3. Execute injected prefetch ops.
+        let ops = injections.ops_at(block_id);
+        let mut ops_issued = 0u64;
+        for op in ops {
+            m.pf_ops_executed += 1;
+            ops_issued += 1;
+            if op.fires(lbr.runtime_hash()) {
+                m.pf_ops_fired += 1;
+                for line in op.target_lines() {
+                    issue_prefetch(&mut hier, &mut inflight, &mut m, cycle, line, cfg);
+                }
+            } else {
+                m.pf_ops_suppressed += 1;
+            }
+        }
+
+        // 4. Fetch the block's instruction lines.
+        if cfg.ideal_icache {
+            m.i_accesses += block.line_count();
+        } else {
+            for line in block.lines() {
+                m.i_accesses += 1;
+                if hier.in_l1i(line) {
+                    let was_untouched = hier.is_untouched_prefetch(line);
+                    hier.fetch_instr(line);
+                    if was_untouched {
+                        m.pf_useful += 1;
+                    }
+                    hw_prefetch_hook(&mut opts, &mut hw_out, line, false);
+                    issue_hw_lines(&mut hier, &mut inflight, &mut m, cycle, &mut hw_out, cfg);
+                    continue;
+                }
+                // Miss path.
+                m.i_misses += 1;
+                if let Some(obs) = opts.observer.as_deref_mut() {
+                    obs.icache_miss(idx, block_id, line, cycle);
+                }
+                let stall = if let Some(completion) = inflight.get(line) {
+                    // Late prefetch: wait only the remaining time.
+                    inflight.remove(line);
+                    m.pf_late += 1;
+                    m.pf_useful += 1;
+                    let remaining = completion.saturating_sub(cycle);
+                    hier.fetch_instr(line); // state update; timing overridden
+                    remaining
+                } else {
+                    let out = hier.fetch_instr(line);
+                    if out.evicted_untouched_prefetch {
+                        m.pf_evicted_unused += 1;
+                    }
+                    u64::from(out.extra_cycles)
+                };
+                m.i_stall_cycles += stall;
+                cycle += stall;
+                hw_prefetch_hook(&mut opts, &mut hw_out, line, true);
+                issue_hw_lines(&mut hier, &mut inflight, &mut m, cycle, &mut hw_out, cfg);
+            }
+        }
+
+        // 5. Data side.
+        for k in 0..block.data_accesses() {
+            m.d_accesses += 1;
+            let site = mix(u64::from(block_id.0), u64::from(k));
+            let line = if site % 100 < stream_threshold {
+                stream_counter = stream_counter.wrapping_add(1);
+                Line::new(DATA_LINE_BASE + stream_counter % data_lines)
+            } else {
+                Line::new(DATA_LINE_BASE + site % data_lines)
+            };
+            let out = hier.load_data(line);
+            if out.extra_cycles > 0 {
+                m.d_misses += 1;
+                let stall = (f64::from(out.extra_cycles) * cfg.d_stall_factor) as u64;
+                m.d_stall_cycles += stall;
+                cycle += stall;
+            }
+        }
+
+        // 6. Issue bandwidth.
+        let instrs = u64::from(block.instrs());
+        m.base_instrs += instrs;
+        m.instrs += instrs + ops_issued;
+        cycle += (instrs + ops_issued).div_ceil(u64::from(cfg.issue_width));
+    }
+
+    m.cycles = cycle;
+    m
+}
+
+/// Invokes the hardware prefetcher, if any, collecting its requests.
+fn hw_prefetch_hook(
+    opts: &mut RunOptions<'_>,
+    hw_out: &mut Vec<Line>,
+    line: Line,
+    was_miss: bool,
+) {
+    if let Some(hw) = opts.hw_prefetcher.as_deref_mut() {
+        hw.on_fetch(line, was_miss, hw_out);
+    }
+}
+
+/// Issues the lines a hardware prefetcher requested.
+fn issue_hw_lines(
+    hier: &mut Hierarchy,
+    inflight: &mut Inflight,
+    m: &mut SimResult,
+    cycle: u64,
+    hw_out: &mut Vec<Line>,
+    cfg: &SimConfig,
+) {
+    for line in hw_out.drain(..) {
+        issue_prefetch(hier, inflight, m, cycle, line, cfg);
+    }
+}
+
+/// Issues one prefetch line request.
+fn issue_prefetch(
+    hier: &mut Hierarchy,
+    inflight: &mut Inflight,
+    m: &mut SimResult,
+    cycle: u64,
+    line: Line,
+    _cfg: &SimConfig,
+) {
+    if hier.in_l1i(line) {
+        m.pf_lines_resident += 1;
+        return;
+    }
+    if inflight.get(line).is_some() {
+        m.pf_lines_resident += 1;
+        return;
+    }
+    let latency = hier.prefetch_latency(line);
+    inflight.insert(line, cycle + u64::from(latency));
+    m.pf_lines_issued += 1;
+}
+
+/// Cheap 64-bit mix for deterministic pseudo-random data addresses.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(0x94D049BB133111EB);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_isa::PrefetchOp;
+    use ispy_trace::{apps, InputSpec};
+
+    fn small_app() -> (Program, Trace) {
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 30_000);
+        (program, trace)
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (p, t) = small_app();
+        let a = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        let b = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_is_fastest_and_missless() {
+        let (p, t) = small_app();
+        let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        let ideal = run(&p, &t, &SimConfig::ideal(), RunOptions::default());
+        assert_eq!(ideal.i_misses, 0);
+        assert_eq!(ideal.i_stall_cycles, 0);
+        assert!(ideal.cycles < base.cycles);
+        assert!(base.i_misses > 0, "workload must actually miss");
+    }
+
+    #[test]
+    fn baseline_workload_is_frontend_bound() {
+        let (p, t) = small_app();
+        let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        let fb = base.frontend_bound();
+        assert!(fb > 0.15, "frontend-bound fraction {fb} too small to study");
+    }
+
+    #[test]
+    fn observer_sees_all_blocks_and_misses() {
+        #[derive(Default)]
+        struct Counter {
+            blocks: usize,
+            misses: usize,
+        }
+        impl SimObserver for Counter {
+            fn block_entered(&mut self, _i: usize, _b: BlockId, _c: u64) {
+                self.blocks += 1;
+            }
+            fn icache_miss(&mut self, _i: usize, _b: BlockId, _l: Line, _c: u64) {
+                self.misses += 1;
+            }
+        }
+        let (p, t) = small_app();
+        let mut obs = Counter::default();
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { observer: Some(&mut obs), ..Default::default() },
+        );
+        assert_eq!(obs.blocks as u64, r.blocks);
+        assert_eq!(obs.misses as u64, r.i_misses);
+    }
+
+    #[test]
+    fn plain_injection_reduces_misses_on_repeating_pattern() {
+        // Inject, at every block, a prefetch of the line that block's
+        // successor misses — here simply prefetch every block's own next
+        // lines far in advance via a map built from a profiling pass.
+        let (p, t) = small_app();
+        let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
+
+        // Build a crude plan: for each observed miss, inject a plain
+        // prefetch 8 dynamic blocks earlier.
+        struct Rec {
+            events: Vec<(usize, Line)>,
+        }
+        impl SimObserver for Rec {
+            fn icache_miss(&mut self, idx: usize, _b: BlockId, line: Line, _c: u64) {
+                self.events.push((idx, line));
+            }
+        }
+        let mut rec = Rec { events: Vec::new() };
+        run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { observer: Some(&mut rec), ..Default::default() },
+        );
+        let mut map = InjectionMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for (idx, line) in rec.events {
+            if idx >= 8 {
+                let site = t.blocks()[idx - 8];
+                if seen.insert((site, line)) {
+                    map.push(site, PrefetchOp::Plain { target: line });
+                }
+            }
+        }
+        let with = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
+        assert!(
+            with.i_misses < base.i_misses,
+            "prefetching must reduce misses: {} vs {}",
+            with.i_misses,
+            base.i_misses
+        );
+        assert!(with.pf_ops_executed > 0);
+        assert!(with.pf_useful > 0);
+    }
+
+    #[test]
+    fn conditional_op_with_impossible_context_never_fires() {
+        let (p, t) = small_app();
+        let mut map = InjectionMap::new();
+        // A context hash demanding every bit set will (essentially) never
+        // match a 32-entry LBR under the 16-bit scheme... but could.
+        // Use all 64 bits of a 64-bit scheme for certainty.
+        let cfg = SimConfig::default().with_hash(ispy_isa::HashConfig::new(64, 2));
+        let ctx = ispy_isa::ContextHash::from_bits(u64::MAX, 64);
+        map.push(t.blocks()[0], PrefetchOp::Cond { target: Line::new(0x999999), ctx });
+        let r = run(&p, &t, &cfg, RunOptions { injections: Some(&map), ..Default::default() });
+        assert!(r.pf_ops_executed > 0);
+        assert_eq!(r.pf_ops_fired, 0);
+        assert_eq!(r.pf_ops_suppressed, r.pf_ops_executed);
+        assert_eq!(r.pf_lines_issued, 0);
+    }
+
+    #[test]
+    fn injected_ops_count_toward_dynamic_instrs() {
+        let (p, t) = small_app();
+        let mut map = InjectionMap::new();
+        map.push(t.blocks()[0], PrefetchOp::Plain { target: Line::new(1) });
+        let r = run(&p, &t, &SimConfig::default(), RunOptions {
+            injections: Some(&map),
+            ..Default::default()
+        });
+        assert_eq!(r.instrs, r.base_instrs + r.pf_ops_executed);
+        assert!(r.dynamic_increase() > 0.0);
+    }
+
+    #[test]
+    fn useless_prefetches_hurt_or_do_not_help() {
+        let (p, t) = small_app();
+        let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        // Prefetch garbage lines everywhere: pure pollution.
+        let mut map = InjectionMap::new();
+        let hot: Vec<BlockId> = t.blocks()[..200].to_vec();
+        for (i, b) in hot.into_iter().enumerate() {
+            map.push(b, PrefetchOp::Plain { target: Line::new(0xBAD_0000 + i as u64 * 7) });
+        }
+        let with = run(&p, &t, &SimConfig::default(), RunOptions {
+            injections: Some(&map),
+            ..Default::default()
+        });
+        assert!(with.cycles >= base.cycles, "{} < {}", with.cycles, base.cycles);
+        assert_eq!(with.pf_useful, 0);
+    }
+
+    #[test]
+    fn coalesced_op_prefetches_all_targets() {
+        let (p, t) = small_app();
+        let mut map = InjectionMap::new();
+        let mask = ispy_isa::CoalesceMask::from_bits(0xFF, 8);
+        map.push(t.blocks()[0], PrefetchOp::Coalesced { base: Line::new(0x700000), mask });
+        let r = run(&p, &t, &SimConfig::default(), RunOptions {
+            injections: Some(&map),
+            ..Default::default()
+        });
+        // Base + 8 extra lines, issued at least once (the first execution).
+        assert!(r.pf_lines_issued >= 9);
+    }
+
+    #[test]
+    fn hw_prefetcher_hook_is_invoked() {
+        struct NextLine;
+        impl HwPrefetcher for NextLine {
+            fn on_fetch(&mut self, line: Line, was_miss: bool, out: &mut Vec<Line>) {
+                if was_miss {
+                    out.push(line.offset(1));
+                }
+            }
+        }
+        let (p, t) = small_app();
+        let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        let mut hw = NextLine;
+        let r = run(&p, &t, &SimConfig::default(), RunOptions {
+            hw_prefetcher: Some(&mut hw),
+            ..Default::default()
+        });
+        assert!(r.pf_lines_issued > 0);
+        assert!(r.i_misses < base.i_misses, "next-line should help sequential code");
+    }
+
+    #[test]
+    fn timely_prefetch_eliminates_stall_late_prefetch_reduces_it() {
+        // Construct a two-block loop: block 0 (hot) and block 1 at a far
+        // line. Injecting a prefetch of block 1's line at block 0 hides the
+        // latency when the issue-to-use distance is long enough.
+        use ispy_trace::program::{BlockExit, FuncId, Function};
+        use ispy_trace::{Addr, BasicBlock, Program};
+        let blocks = vec![
+            BasicBlock::new(Addr::new(0), 64, 64, 0), // 16 issue cycles
+            BasicBlock::new(Addr::new(1 << 20), 64, 16, 0),
+        ];
+        let exits = vec![
+            BlockExit::Branch(vec![(BlockId(1), 1.0)]),
+            BlockExit::Branch(vec![(BlockId(0), 1.0)]),
+        ];
+        let funcs = vec![Function::new(BlockId(0), 0, 2)];
+        let owner = vec![FuncId(0), FuncId(0)];
+        let program =
+            Program::new("loop", blocks, exits, funcs, owner, vec![vec![FuncId(0)]]);
+        let trace = program.record_trace(ispy_trace::InputSpec::uniform(0, 1), 4_000);
+        let cfg = SimConfig::default();
+        // Thrash block 1's line out of L1I? In this tiny program it stays
+        // resident, so instead compare cold-start behaviour over a fresh
+        // hierarchy per run: the first access misses either way; with the
+        // prefetch the *remaining stall* shrinks because the line is in
+        // flight by the time it is fetched.
+        let base = run(&program, &trace, &cfg, RunOptions::default());
+        let mut map = InjectionMap::new();
+        map.push(BlockId(0), PrefetchOp::Plain { target: Line::new((1 << 20) / 64) });
+        let with = run(&program, &trace, &cfg, RunOptions {
+            injections: Some(&map),
+            ..Default::default()
+        });
+        assert!(with.i_stall_cycles <= base.i_stall_cycles);
+        assert!(with.pf_lines_resident > 0, "steady-state firings find the line resident");
+    }
+
+    #[test]
+    fn late_prefetch_counts_as_miss_but_shortens_stall() {
+        // Issue a prefetch of a memory-resident line in the same block that
+        // fetches it next: the prefetch is in flight when the demand
+        // arrives (late), the stall is the remaining time, and the event
+        // still counts as a miss.
+        use ispy_trace::program::{BlockExit, FuncId, Function};
+        use ispy_trace::{Addr, BasicBlock, Program};
+        let target_line = Line::new((1 << 21) / 64);
+        // Block 0: 4 instrs + the injected op = ceil(5/4) = 2 issue cycles,
+        // after a 257-cycle cold miss -> block 1 enters at cycle 259, one
+        // cycle before the 260-cycle prefetch completes: strictly late.
+        let blocks = vec![
+            BasicBlock::new(Addr::new(0), 32, 4, 0),
+            BasicBlock::new(Addr::new(1 << 21), 32, 8, 0),
+        ];
+        let exits = vec![
+            BlockExit::Branch(vec![(BlockId(1), 1.0)]),
+            BlockExit::Return,
+        ];
+        let funcs = vec![Function::new(BlockId(0), 0, 2)];
+        let owner = vec![FuncId(0), FuncId(0)];
+        let program = Program::new("late", blocks, exits, funcs, owner, vec![vec![FuncId(0)]]);
+        let trace = ispy_trace::Trace::new("late", vec![BlockId(0), BlockId(1)]);
+        let mut map = InjectionMap::new();
+        map.push(BlockId(0), PrefetchOp::Plain { target: target_line });
+        let cfg = SimConfig::default();
+        let base = run(&program, &trace, &cfg, RunOptions::default());
+        let with = run(&program, &trace, &cfg, RunOptions {
+            injections: Some(&map),
+            ..Default::default()
+        });
+        assert_eq!(with.pf_late, 1, "demand must catch the prefetch in flight");
+        assert_eq!(with.i_misses, base.i_misses, "late prefetch still counts as a miss");
+        assert!(
+            with.i_stall_cycles < base.i_stall_cycles,
+            "but the stall shrinks: {} vs {}",
+            with.i_stall_cycles,
+            base.i_stall_cycles
+        );
+    }
+
+    #[test]
+    fn ideal_icache_still_runs_data_side_and_issue() {
+        let (p, t) = small_app();
+        let r = run(&p, &t, &SimConfig::ideal(), RunOptions::default());
+        assert!(r.cycles > 0);
+        assert!(r.d_accesses > 0);
+        assert_eq!(r.i_misses, 0);
+        // Accesses are still counted for bookkeeping.
+        assert!(r.i_accesses > 0);
+    }
+
+    #[test]
+    fn data_side_is_exercised() {
+        let (p, t) = small_app();
+        let r = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        assert!(r.d_accesses > 0);
+        assert!(r.d_misses > 0);
+        assert!(r.d_stall_cycles > 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Table-I memory hierarchy: split L1s over unified L2/L3.
+
+use crate::cache::{Cache, InsertPriority};
+use crate::config::SimConfig;
+use ispy_trace::Line;
+
+/// Where a line was found on a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResidencyLevel {
+    /// Hit in the accessed L1.
+    L1,
+    /// Found in the unified L2.
+    L2,
+    /// Found in the unified L3.
+    L3,
+    /// Served from memory.
+    Memory,
+}
+
+/// Outcome of a demand fetch/load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Level that served the access.
+    pub level: ResidencyLevel,
+    /// Extra stall cycles beyond the L1 hit latency.
+    pub extra_cycles: u32,
+    /// An untouched prefetched line was evicted from L1I to make room.
+    pub evicted_untouched_prefetch: bool,
+}
+
+/// The simulated cache hierarchy.
+///
+/// Instruction and data sides have private L1s and share L2/L3 (so useless
+/// instruction prefetches pollute the levels data misses are served from,
+/// as in a real part). Code lines and data lines live in disjoint address
+/// ranges, which the engine guarantees.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    lat_l1i: u32,
+    lat_l1d: u32,
+    lat_l2: u32,
+    lat_l3: u32,
+    lat_mem: u32,
+    prefetch_insert: InsertPriority,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy from a configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Hierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            lat_l1i: cfg.lat.l1i,
+            lat_l1d: cfg.lat.l1d,
+            lat_l2: cfg.lat.l2,
+            lat_l3: cfg.lat.l3,
+            lat_mem: cfg.lat.mem,
+            prefetch_insert: cfg.prefetch_insert,
+        }
+    }
+
+    /// Looks up where `line` would be served from, without changing state.
+    pub fn residency(&self, line: Line) -> ResidencyLevel {
+        if self.l1i.contains(line) || self.l1d.contains(line) {
+            ResidencyLevel::L1
+        } else if self.l2.contains(line) {
+            ResidencyLevel::L2
+        } else if self.l3.contains(line) {
+            ResidencyLevel::L3
+        } else {
+            ResidencyLevel::Memory
+        }
+    }
+
+    /// Latency (cycles) to obtain `line` for the I-side, as the prefetch
+    /// engine would see it.
+    pub fn prefetch_latency(&self, line: Line) -> u32 {
+        match self.residency(line) {
+            ResidencyLevel::L1 => self.lat_l1i,
+            ResidencyLevel::L2 => self.lat_l2,
+            ResidencyLevel::L3 => self.lat_l3,
+            ResidencyLevel::Memory => self.lat_mem,
+        }
+    }
+
+    /// Whether `line` is resident in the L1 I-cache.
+    pub fn in_l1i(&self, line: Line) -> bool {
+        self.l1i.contains(line)
+    }
+
+    /// Demand instruction fetch of `line`.
+    pub fn fetch_instr(&mut self, line: Line) -> AccessOutcome {
+        if self.l1i.access(line) {
+            return AccessOutcome {
+                level: ResidencyLevel::L1,
+                extra_cycles: 0,
+                evicted_untouched_prefetch: false,
+            };
+        }
+        let (level, total_lat) = self.lookup_fill_shared(line);
+        let fill = self.l1i.fill(line, InsertPriority::Mru, false);
+        AccessOutcome {
+            level,
+            extra_cycles: total_lat - self.lat_l1i,
+            evicted_untouched_prefetch: fill.evicted_untouched_prefetch,
+        }
+    }
+
+    /// Demand data load of `line`.
+    pub fn load_data(&mut self, line: Line) -> AccessOutcome {
+        if self.l1d.access(line) {
+            return AccessOutcome {
+                level: ResidencyLevel::L1,
+                extra_cycles: 0,
+                evicted_untouched_prefetch: false,
+            };
+        }
+        let (level, total_lat) = self.lookup_fill_shared(line);
+        self.l1d.fill(line, InsertPriority::Mru, false);
+        AccessOutcome {
+            level,
+            extra_cycles: total_lat - self.lat_l1d,
+            evicted_untouched_prefetch: false,
+        }
+    }
+
+    /// Completes a prefetch: fills L1I (and L2) at the configured prefetch
+    /// priority, marking the line for usefulness accounting. Returns whether
+    /// an untouched prefetched line was evicted from L1I.
+    pub fn prefetch_fill(&mut self, line: Line) -> bool {
+        self.l2.fill(line, self.prefetch_insert, true);
+        let out = self.l1i.fill(line, self.prefetch_insert, true);
+        out.evicted_untouched_prefetch
+    }
+
+    /// Whether `line` sits in L1I as a not-yet-demanded prefetch.
+    pub fn is_untouched_prefetch(&self, line: Line) -> bool {
+        self.l1i.is_untouched_prefetch(line)
+    }
+
+    /// Serves a miss from the shared levels, filling them on the way.
+    fn lookup_fill_shared(&mut self, line: Line) -> (ResidencyLevel, u32) {
+        if self.l2.access(line) {
+            (ResidencyLevel::L2, self.lat_l2)
+        } else if self.l3.access(line) {
+            self.l2.fill(line, InsertPriority::Mru, false);
+            (ResidencyLevel::L3, self.lat_l3)
+        } else {
+            self.l3.fill(line, InsertPriority::Mru, false);
+            self.l2.fill(line, InsertPriority::Mru, false);
+            (ResidencyLevel::Memory, self.lat_mem)
+        }
+    }
+
+    /// Direct access to the L1I, for tests and white-box inspection.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn h() -> Hierarchy {
+        Hierarchy::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn cold_fetch_comes_from_memory() {
+        let mut hier = h();
+        let out = hier.fetch_instr(Line::new(100));
+        assert_eq!(out.level, ResidencyLevel::Memory);
+        assert_eq!(out.extra_cycles, 260 - 3);
+    }
+
+    #[test]
+    fn refetch_hits_l1() {
+        let mut hier = h();
+        hier.fetch_instr(Line::new(100));
+        let out = hier.fetch_instr(Line::new(100));
+        assert_eq!(out.level, ResidencyLevel::L1);
+        assert_eq!(out.extra_cycles, 0);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut hier = h();
+        hier.fetch_instr(Line::new(0));
+        // Fill set 0 of the 64-set 8-way L1I with conflicting lines.
+        for i in 1..=8u64 {
+            hier.fetch_instr(Line::new(i * 64));
+        }
+        let out = hier.fetch_instr(Line::new(0));
+        assert_eq!(out.level, ResidencyLevel::L2);
+        assert_eq!(out.extra_cycles, 12 - 3);
+    }
+
+    #[test]
+    fn prefetch_fill_makes_next_fetch_hit() {
+        let mut hier = h();
+        let l = Line::new(77);
+        hier.prefetch_fill(l);
+        assert!(hier.is_untouched_prefetch(l));
+        let out = hier.fetch_instr(l);
+        assert_eq!(out.level, ResidencyLevel::L1);
+        assert!(!hier.is_untouched_prefetch(l));
+    }
+
+    #[test]
+    fn prefetch_latency_tracks_residency() {
+        let mut hier = h();
+        let l = Line::new(5);
+        assert_eq!(hier.prefetch_latency(l), 260);
+        hier.fetch_instr(l); // now in l1i + l2 + l3
+        assert_eq!(hier.prefetch_latency(l), 3);
+        // Evict from L1I only: conflicting fetches.
+        for i in 1..=8u64 {
+            hier.fetch_instr(Line::new(5 + i * 64));
+        }
+        assert_eq!(hier.prefetch_latency(l), 12);
+    }
+
+    #[test]
+    fn data_and_instruction_l1s_are_split() {
+        let mut hier = h();
+        let l = Line::new(9);
+        hier.load_data(l);
+        // Same line fetched as an instruction must miss L1I but hit L2.
+        let out = hier.fetch_instr(l);
+        assert_eq!(out.level, ResidencyLevel::L2);
+    }
+
+    #[test]
+    fn data_load_latency() {
+        let mut hier = h();
+        let out = hier.load_data(Line::new(1000));
+        assert_eq!(out.extra_cycles, 260 - 4);
+        let out2 = hier.load_data(Line::new(1000));
+        assert_eq!(out2.extra_cycles, 0);
+    }
+}

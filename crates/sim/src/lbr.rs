@@ -1,0 +1,291 @@
+//! The Last Branch Record and the counting-Bloom-filter runtime hash.
+//!
+//! §III-A / Fig. 7: the 32-entry LBR is mirrored into a counting Bloom
+//! filter — one 6-bit counter per context-hash bit (96 bits of state for the
+//! 16-bit design point). Pushing an LBR entry increments the counters of the
+//! new block's hash bits; the entry evicted from the FIFO decrements its
+//! counters. The *runtime hash* is the bitmask of non-zero counters, so it
+//! exactly reflects the set of blocks currently in the LBR; a conditional
+//! prefetch fires iff its context-hash bits are a subset of the runtime hash.
+
+use ispy_isa::HashConfig;
+use ispy_trace::Addr;
+use std::collections::VecDeque;
+
+/// Counting Bloom filter over block signatures.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::HashConfig;
+/// use ispy_sim::CountingBloom;
+/// use ispy_trace::Addr;
+///
+/// let cfg = HashConfig::default();
+/// let mut bloom = CountingBloom::new(cfg);
+/// bloom.insert(Addr::new(0x400000));
+/// let ctx = cfg.context_hash([Addr::new(0x400000)]);
+/// assert!(ctx.matches(bloom.runtime_hash()));
+/// bloom.remove(Addr::new(0x400000));
+/// assert_eq!(bloom.runtime_hash(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingBloom {
+    cfg: HashConfig,
+    counters: Vec<u8>,
+}
+
+impl CountingBloom {
+    /// Creates an empty filter for the given hash scheme.
+    pub fn new(cfg: HashConfig) -> Self {
+        CountingBloom { cfg, counters: vec![0; usize::from(cfg.bits())] }
+    }
+
+    /// The hash scheme in use.
+    pub fn config(&self) -> HashConfig {
+        self.cfg
+    }
+
+    /// Accounts one occurrence of the block starting at `addr`.
+    pub fn insert(&mut self, addr: Addr) {
+        let (bits, n) = self.bits_of(addr);
+        for &bit in &bits[..n] {
+            let c = &mut self.counters[bit];
+            // 6-bit counters never overflow with a 32-entry LBR (≤ 64
+            // increments per bit even if every entry hashed to one bit).
+            debug_assert!(*c < 64, "6-bit Bloom counter overflow");
+            *c += 1;
+        }
+    }
+
+    /// Removes one occurrence of the block starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the counter underflows, which would mean
+    /// insert/remove calls were unbalanced.
+    pub fn remove(&mut self, addr: Addr) {
+        let (bits, n) = self.bits_of(addr);
+        for &bit in &bits[..n] {
+            let c = &mut self.counters[bit];
+            debug_assert!(*c > 0, "Bloom counter underflow");
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// The runtime hash: one bit per non-zero counter.
+    pub fn runtime_hash(&self) -> u64 {
+        let mut bits = 0u64;
+        for (i, &c) in self.counters.iter().enumerate() {
+            if c > 0 {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// The raw counter values (for white-box tests / the Fig. 7 walkthrough).
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Counter indices touched by `addr` (one per distinct hash function).
+    fn bits_of(&self, addr: Addr) -> ([usize; 2], usize) {
+        let [b0, b1] = self.cfg.bit_positions(addr);
+        if self.cfg.k() == 2 && b1 != b0 {
+            ([usize::from(b0), usize::from(b1)], 2)
+        } else {
+            ([usize::from(b0), 0], 1)
+        }
+    }
+}
+
+/// The 32-entry Last Branch Record with its attached Bloom filter.
+///
+/// Each retired basic block is pushed as one entry (the paper identifies LBR
+/// entries by the target basic-block address). The filter is maintained
+/// incrementally exactly as Fig. 7 describes.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::HashConfig;
+/// use ispy_sim::Lbr;
+/// use ispy_trace::Addr;
+///
+/// let mut lbr = Lbr::new(32, HashConfig::default());
+/// for i in 0..40u64 {
+///     lbr.push(Addr::new(0x400000 + i * 64));
+/// }
+/// assert_eq!(lbr.len(), 32); // FIFO keeps only the last 32
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lbr {
+    depth: usize,
+    entries: VecDeque<Addr>,
+    bloom: CountingBloom,
+}
+
+impl Lbr {
+    /// Creates an empty LBR of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize, hash: HashConfig) -> Self {
+        assert!(depth > 0, "LBR depth must be positive");
+        Lbr { depth, entries: VecDeque::with_capacity(depth + 1), bloom: CountingBloom::new(hash) }
+    }
+
+    /// Records a basic-block entry, evicting the oldest beyond `depth`.
+    pub fn push(&mut self, block_start: Addr) {
+        self.entries.push_back(block_start);
+        self.bloom.insert(block_start);
+        if self.entries.len() > self.depth {
+            let evicted = self.entries.pop_front().expect("non-empty");
+            self.bloom.remove(evicted);
+        }
+    }
+
+    /// Number of recorded entries (≤ depth).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no branches have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Entries from oldest to newest.
+    pub fn entries(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether `block_start` is among the recorded entries.
+    pub fn contains(&self, block_start: Addr) -> bool {
+        self.entries.contains(&block_start)
+    }
+
+    /// The Bloom-filter runtime hash over the current contents.
+    pub fn runtime_hash(&self) -> u64 {
+        self.bloom.runtime_hash()
+    }
+
+    /// The underlying Bloom filter.
+    pub fn bloom(&self) -> &CountingBloom {
+        &self.bloom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_isa::HashConfig;
+
+    fn addr(i: u64) -> Addr {
+        Addr::new(0x400000 + i * 64)
+    }
+
+    #[test]
+    fn fifo_depth_enforced() {
+        let mut lbr = Lbr::new(4, HashConfig::default());
+        for i in 0..10 {
+            lbr.push(addr(i));
+        }
+        assert_eq!(lbr.len(), 4);
+        let e: Vec<_> = lbr.entries().collect();
+        assert_eq!(e, vec![addr(6), addr(7), addr(8), addr(9)]);
+    }
+
+    #[test]
+    fn bloom_tracks_contents_exactly() {
+        // "The counters never overflow and the runtime-hash precisely tracks
+        // the LBR contents" (§III-A).
+        let cfg = HashConfig::default();
+        let mut lbr = Lbr::new(8, cfg);
+        for i in 0..64 {
+            lbr.push(addr(i % 16));
+            // Recompute the expected hash from scratch.
+            let mut fresh = CountingBloom::new(cfg);
+            for e in lbr.entries() {
+                fresh.insert(e);
+            }
+            assert_eq!(lbr.runtime_hash(), fresh.runtime_hash());
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let cfg = HashConfig::default();
+        let mut lbr = Lbr::new(32, cfg);
+        for i in 0..32 {
+            lbr.push(addr(i));
+        }
+        for i in 0..32 {
+            let ctx = cfg.context_hash([addr(i)]);
+            assert!(ctx.matches(lbr.runtime_hash()), "entry {i} must match");
+        }
+    }
+
+    #[test]
+    fn removal_returns_counters_to_zero() {
+        let cfg = HashConfig::default();
+        let mut bloom = CountingBloom::new(cfg);
+        let addrs: Vec<_> = (0..20).map(addr).collect();
+        for &a in &addrs {
+            bloom.insert(a);
+        }
+        for &a in &addrs {
+            bloom.remove(a);
+        }
+        assert_eq!(bloom.runtime_hash(), 0);
+        assert!(bloom.counters().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn duplicate_entries_need_matching_removals() {
+        let cfg = HashConfig::default();
+        let mut bloom = CountingBloom::new(cfg);
+        bloom.insert(addr(1));
+        bloom.insert(addr(1));
+        bloom.remove(addr(1));
+        // Still present once.
+        let ctx = cfg.context_hash([addr(1)]);
+        assert!(ctx.matches(bloom.runtime_hash()));
+        bloom.remove(addr(1));
+        assert!(!ctx.matches(bloom.runtime_hash()) || ctx.bits() == 0);
+    }
+
+    #[test]
+    fn paper_subset_semantics_through_lbr() {
+        // Blocks B and E in the LBR -> Cprefetch conditioned on {B, E} fires.
+        let cfg = HashConfig::default();
+        let mut lbr = Lbr::new(32, cfg);
+        let b = addr(100);
+        let e = addr(200);
+        lbr.push(b);
+        lbr.push(addr(5));
+        lbr.push(e);
+        let ctx = cfg.context_hash([b, e]);
+        assert!(ctx.matches(lbr.runtime_hash()));
+        // Push 32 other blocks; B and E fall out, prefetch is disabled
+        // (unless hash collisions keep the bits set, which default 16-bit
+        // config avoids for these addresses).
+        for i in 0..32 {
+            lbr.push(addr(i));
+        }
+        assert!(!lbr.contains(b) && !lbr.contains(e));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = Lbr::new(0, HashConfig::default());
+    }
+}

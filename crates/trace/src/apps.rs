@@ -1,0 +1,425 @@
+//! Models of the paper's nine data-center applications.
+//!
+//! Each model is a [`GenParams`] preset whose shape mirrors what is publicly
+//! known about the corresponding application's front-end behaviour:
+//!
+//! * The three HHVM PHP apps (**drupal**, **mediawiki**, **wordpress**) have
+//!   the largest instruction footprints and the most scattered layouts —
+//!   they sit at the top of the paper's Fig. 1 front-end-stall range.
+//! * The JVM server apps (**cassandra**, **kafka**, **tomcat**,
+//!   **finagle-chirper**, **finagle-http**) have mid-size footprints and
+//!   moderate locality.
+//! * **verilator** emits enormous machine-generated straight-line evaluation
+//!   code: few branches, long blocks, call-order layout — which is why the
+//!   paper finds 75 % of its misses within an 8-line window and coalescing
+//!   outperforms conditional prefetching there (§VI-A).
+
+use crate::exec::InputSpec;
+use crate::gen::{generate, GenParams};
+use crate::program::Program;
+
+/// Names of the nine applications, in the paper's (alphabetical) order.
+pub const NAMES: [&str; 9] = [
+    "cassandra",
+    "drupal",
+    "finagle-chirper",
+    "finagle-http",
+    "kafka",
+    "mediawiki",
+    "tomcat",
+    "verilator",
+    "wordpress",
+];
+
+/// A named application model: generator parameters plus its input family.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_trace::apps;
+///
+/// let wp = apps::wordpress();
+/// let program = wp.generate();
+/// assert_eq!(program.name(), "wordpress");
+/// // Fig. 16 evaluates five inputs; variant 0 is the profiled input.
+/// let inputs: Vec<_> = (0..5).map(|k| wp.input_variant(k)).collect();
+/// assert_eq!(inputs.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    name: &'static str,
+    params: GenParams,
+}
+
+impl AppModel {
+    /// The application's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The generator parameters.
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
+    /// Generates the application's program (its "binary").
+    pub fn generate(&self) -> Program {
+        generate(self.name, &self.params)
+    }
+
+    /// The input used for profiling (variant 0).
+    pub fn default_input(&self) -> InputSpec {
+        self.input_variant(0)
+    }
+
+    /// The `k`-th input variant. Variant 0 is the profiled input; higher
+    /// variants rotate the hot request types and change the interleaving
+    /// seed, modelling diurnal load drift (paper Fig. 16).
+    pub fn input_variant(&self, k: usize) -> InputSpec {
+        let base = InputSpec::zipf(
+            self.params.seed.wrapping_mul(0x5DEECE66D).wrapping_add(11),
+            self.params.request_types,
+            self.params.zipf_s,
+        );
+        if k == 0 {
+            base
+        } else {
+            base.with_rotation(k).with_seed(0xD1F7 + 131 * k as u64)
+        }
+    }
+
+    /// Scales the footprint down by `factor` (for fast tests/benches),
+    /// keeping the app's character (locality, branchiness) intact.
+    #[must_use]
+    pub fn scaled_down(mut self, factor: u32) -> Self {
+        self.params.funcs = (self.params.funcs / factor).max(8);
+        self
+    }
+}
+
+fn model(name: &'static str, params: GenParams) -> AppModel {
+    AppModel { name, params }
+}
+
+/// Apache Cassandra: NoSQL storage engine (DaCapo).
+pub fn cassandra() -> AppModel {
+    model(
+        "cassandra",
+        GenParams {
+            seed: 0xCA55,
+            funcs: 3000,
+            mean_blocks_per_func: 12.0,
+            mean_block_bytes: 48,
+            skip_prob: 0.25,
+            loop_prob: 0.12,
+            mean_loop_iters: 3.0,
+            call_prob: 0.06,
+            request_types: 8,
+            mean_funcs_per_request: 20.0,
+            shared_pool_frac: 0.25,
+            layout_shuffle: 0.5,
+            mean_data_accesses: 2.6,
+            data_footprint_lines: 1 << 16,
+            zipf_s: 1.1,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Drupal: PHP CMS under HHVM (OSS-performance).
+pub fn drupal() -> AppModel {
+    model(
+        "drupal",
+        GenParams {
+            seed: 0xD2BA,
+            funcs: 5500,
+            mean_blocks_per_func: 14.0,
+            mean_block_bytes: 64,
+            skip_prob: 0.30,
+            loop_prob: 0.08,
+            mean_loop_iters: 2.5,
+            call_prob: 0.055,
+            request_types: 12,
+            mean_funcs_per_request: 32.0,
+            shared_pool_frac: 0.30,
+            layout_shuffle: 0.75,
+            mean_data_accesses: 2.0,
+            data_footprint_lines: 1 << 15,
+            zipf_s: 1.08,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Twitter Finagle micro-blogging service (Renaissance).
+pub fn finagle_chirper() -> AppModel {
+    model(
+        "finagle-chirper",
+        GenParams {
+            seed: 0xF1C4,
+            funcs: 2400,
+            mean_blocks_per_func: 10.0,
+            mean_block_bytes: 44,
+            skip_prob: 0.22,
+            loop_prob: 0.10,
+            mean_loop_iters: 2.5,
+            call_prob: 0.065,
+            request_types: 6,
+            mean_funcs_per_request: 16.0,
+            shared_pool_frac: 0.28,
+            layout_shuffle: 0.6,
+            mean_data_accesses: 1.8,
+            data_footprint_lines: 1 << 14,
+            zipf_s: 1.15,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Twitter Finagle HTTP server (Renaissance).
+pub fn finagle_http() -> AppModel {
+    model(
+        "finagle-http",
+        GenParams {
+            seed: 0xF17B,
+            funcs: 2200,
+            mean_blocks_per_func: 11.0,
+            mean_block_bytes: 44,
+            skip_prob: 0.22,
+            loop_prob: 0.10,
+            mean_loop_iters: 2.5,
+            call_prob: 0.065,
+            request_types: 6,
+            mean_funcs_per_request: 15.0,
+            shared_pool_frac: 0.26,
+            layout_shuffle: 0.55,
+            mean_data_accesses: 1.8,
+            data_footprint_lines: 1 << 14,
+            zipf_s: 1.1,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Apache Kafka stream-processing broker (DaCapo).
+pub fn kafka() -> AppModel {
+    model(
+        "kafka",
+        GenParams {
+            seed: 0x4AF4A,
+            funcs: 3400,
+            mean_blocks_per_func: 12.0,
+            mean_block_bytes: 48,
+            skip_prob: 0.24,
+            loop_prob: 0.14,
+            mean_loop_iters: 3.5,
+            call_prob: 0.055,
+            request_types: 8,
+            mean_funcs_per_request: 22.0,
+            shared_pool_frac: 0.24,
+            layout_shuffle: 0.6,
+            mean_data_accesses: 3.0,
+            data_footprint_lines: 1 << 16,
+            zipf_s: 1.1,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// MediaWiki: PHP wiki engine under HHVM (OSS-performance).
+pub fn mediawiki() -> AppModel {
+    model(
+        "mediawiki",
+        GenParams {
+            seed: 0x3ED1A,
+            funcs: 6000,
+            mean_blocks_per_func: 14.0,
+            mean_block_bytes: 64,
+            skip_prob: 0.30,
+            loop_prob: 0.08,
+            mean_loop_iters: 2.5,
+            call_prob: 0.055,
+            request_types: 12,
+            mean_funcs_per_request: 34.0,
+            shared_pool_frac: 0.30,
+            layout_shuffle: 0.8,
+            mean_data_accesses: 2.0,
+            data_footprint_lines: 1 << 15,
+            zipf_s: 1.05,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Apache Tomcat servlet container (DaCapo).
+pub fn tomcat() -> AppModel {
+    model(
+        "tomcat",
+        GenParams {
+            seed: 0x70CA7,
+            funcs: 3200,
+            mean_blocks_per_func: 12.0,
+            mean_block_bytes: 52,
+            skip_prob: 0.26,
+            loop_prob: 0.10,
+            mean_loop_iters: 3.0,
+            call_prob: 0.06,
+            request_types: 10,
+            mean_funcs_per_request: 24.0,
+            shared_pool_frac: 0.26,
+            layout_shuffle: 0.65,
+            mean_data_accesses: 2.2,
+            data_footprint_lines: 1 << 15,
+            zipf_s: 1.05,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// Verilator: machine-generated RTL evaluation code — long straight-line
+/// blocks, few branches, call-order layout (very high spatial locality).
+pub fn verilator() -> AppModel {
+    model(
+        "verilator",
+        GenParams {
+            seed: 0x7E21,
+            funcs: 1100,
+            mean_blocks_per_func: 48.0,
+            mean_block_bytes: 96,
+            skip_prob: 0.08,
+            loop_prob: 0.04,
+            mean_loop_iters: 2.0,
+            call_prob: 0.015,
+            request_types: 3,
+            mean_funcs_per_request: 60.0,
+            shared_pool_frac: 0.15,
+            layout_shuffle: 0.05,
+            mean_data_accesses: 3.5,
+            data_footprint_lines: 1 << 16,
+            zipf_s: 1.0,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// WordPress: PHP CMS under HHVM (OSS-performance).
+pub fn wordpress() -> AppModel {
+    model(
+        "wordpress",
+        GenParams {
+            seed: 0x30BD,
+            funcs: 6500,
+            mean_blocks_per_func: 14.0,
+            mean_block_bytes: 64,
+            skip_prob: 0.30,
+            loop_prob: 0.08,
+            mean_loop_iters: 2.5,
+            call_prob: 0.055,
+            request_types: 14,
+            mean_funcs_per_request: 36.0,
+            shared_pool_frac: 0.32,
+            layout_shuffle: 0.8,
+            mean_data_accesses: 2.0,
+            data_footprint_lines: 1 << 15,
+            zipf_s: 1.05,
+            branch_determinism: 0.85,
+            request_variants: 8,
+        },
+    )
+}
+
+/// All nine models, in [`NAMES`] order.
+pub fn all() -> Vec<AppModel> {
+    vec![
+        cassandra(),
+        drupal(),
+        finagle_chirper(),
+        finagle_http(),
+        kafka(),
+        mediawiki(),
+        tomcat(),
+        verilator(),
+        wordpress(),
+    ]
+}
+
+/// Looks up a model by name.
+pub fn by_name(name: &str) -> Option<AppModel> {
+    all().into_iter().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_apps_in_order() {
+        let models = all();
+        assert_eq!(models.len(), 9);
+        for (m, n) in models.iter().zip(NAMES) {
+            assert_eq!(m.name(), n);
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for n in NAMES {
+            assert_eq!(by_name(n).unwrap().name(), n);
+        }
+        assert!(by_name("memcached").is_none());
+    }
+
+    #[test]
+    fn all_generate_valid_programs_when_scaled() {
+        for m in all() {
+            let p = m.clone().scaled_down(20).generate();
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_l1i() {
+        for m in [cassandra(), verilator(), wordpress()] {
+            let p = m.clone().scaled_down(4).generate();
+            assert!(
+                p.text_bytes() > 8 * 32 * 1024,
+                "{} footprint {} too small",
+                m.name(),
+                p.text_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn hhvm_apps_are_biggest() {
+        let wp = wordpress().params().expected_text_bytes();
+        let fc = finagle_chirper().params().expected_text_bytes();
+        assert!(wp > fc * 2);
+    }
+
+    #[test]
+    fn input_variants_differ_but_share_arity() {
+        let m = drupal();
+        let v0 = m.input_variant(0);
+        let v1 = m.input_variant(1);
+        assert_eq!(v0.weights().len(), v1.weights().len());
+        assert_ne!(v0, v1);
+        // Variant 0 is the default/profiled input.
+        assert_eq!(v0, m.default_input());
+    }
+
+    #[test]
+    fn verilator_is_spatially_local() {
+        let v = verilator();
+        assert!(v.params().layout_shuffle < 0.1);
+        assert!(v.params().mean_block_bytes >= 90);
+    }
+}

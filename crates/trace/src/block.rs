@@ -1,0 +1,186 @@
+//! Basic blocks: the unit of control flow in a program.
+
+use crate::addr::{Addr, Line, LINE_BYTES};
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`](crate::Program).
+///
+/// Block ids are dense indices; the whole pipeline (traces, dynamic CFGs,
+/// injection maps) uses them as array indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(raw: u32) -> Self {
+        BlockId(raw)
+    }
+}
+
+/// A straight-line sequence of instructions ending in a branch.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_trace::{Addr, BasicBlock};
+///
+/// let b = BasicBlock::new(Addr::new(60), 10, 3, 1);
+/// // Spans the line boundary at 64, so it touches two cache lines.
+/// assert_eq!(b.lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BasicBlock {
+    start: Addr,
+    bytes: u32,
+    instrs: u16,
+    data_accesses: u8,
+}
+
+impl BasicBlock {
+    /// Creates a block at `start` spanning `bytes` bytes containing `instrs`
+    /// instructions, `data_accesses` of which touch memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` or `instrs` is zero.
+    pub fn new(start: Addr, bytes: u32, instrs: u16, data_accesses: u8) -> Self {
+        assert!(bytes > 0, "block must occupy at least one byte");
+        assert!(instrs > 0, "block must contain at least one instruction");
+        BasicBlock { start, bytes, instrs, data_accesses }
+    }
+
+    /// First byte of the block (also the block's identity for LBR purposes:
+    /// the paper identifies context blocks by the address of their first
+    /// instruction).
+    pub const fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// One past the last byte of the block.
+    pub const fn end(&self) -> Addr {
+        Addr::new(self.start.raw() + self.bytes as u64)
+    }
+
+    /// Number of instructions.
+    pub const fn instrs(&self) -> u16 {
+        self.instrs
+    }
+
+    /// Number of data accesses performed by one execution of the block.
+    pub const fn data_accesses(&self) -> u8 {
+        self.data_accesses
+    }
+
+    /// First cache line touched when fetching the block.
+    pub const fn first_line(&self) -> Line {
+        self.start.line()
+    }
+
+    /// Iterates over every cache line the block's bytes span, in fetch order.
+    pub fn lines(&self) -> LineIter {
+        LineIter {
+            next: self.start.line().raw(),
+            last: Addr::new(self.start.raw() + self.bytes as u64 - 1).line().raw(),
+        }
+    }
+
+    /// Number of cache lines spanned.
+    pub fn line_count(&self) -> u64 {
+        let first = self.start.line().raw();
+        let last = (self.start.raw() + self.bytes as u64 - 1) / LINE_BYTES;
+        last - first + 1
+    }
+}
+
+/// Iterator over the cache lines of a block; see [`BasicBlock::lines`].
+#[derive(Debug, Clone)]
+pub struct LineIter {
+    next: u64,
+    last: u64,
+}
+
+impl Iterator for LineIter {
+    type Item = Line;
+
+    fn next(&mut self) -> Option<Line> {
+        if self.next > self.last {
+            None
+        } else {
+            let l = Line::new(self.next);
+            self.next += 1;
+            Some(l)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last + 1).saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LineIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_block() {
+        let b = BasicBlock::new(Addr::new(0), 32, 8, 2);
+        let lines: Vec<_> = b.lines().collect();
+        assert_eq!(lines, vec![Line::new(0)]);
+        assert_eq!(b.line_count(), 1);
+    }
+
+    #[test]
+    fn straddling_block() {
+        let b = BasicBlock::new(Addr::new(60), 10, 3, 0);
+        let lines: Vec<_> = b.lines().collect();
+        assert_eq!(lines, vec![Line::new(0), Line::new(1)]);
+        assert_eq!(b.line_count(), 2);
+    }
+
+    #[test]
+    fn exact_line_end_is_not_next_line() {
+        // A block ending exactly at a line boundary touches only its own line.
+        let b = BasicBlock::new(Addr::new(0), 64, 16, 0);
+        assert_eq!(b.line_count(), 1);
+        assert_eq!(b.end(), Addr::new(64));
+    }
+
+    #[test]
+    fn large_block_spans_many_lines() {
+        let b = BasicBlock::new(Addr::new(64), 64 * 3, 40, 5);
+        assert_eq!(b.line_count(), 3);
+        assert_eq!(b.lines().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_byte_block_panics() {
+        let _ = BasicBlock::new(Addr::new(0), 0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn zero_instr_block_panics() {
+        let _ = BasicBlock::new(Addr::new(0), 8, 0, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic data-center application models and execution traces.
+//!
+//! The I-SPY paper ([Khan et al., MICRO 2020]) evaluates nine real data-center
+//! applications (HHVM OSS-performance, DaCapo, Renaissance, Verilator) traced
+//! on production hardware with Intel LBR/PEBS. That infrastructure is not
+//! reproducible offline, so this crate provides the *workload substrate*: a
+//! parameterized generator of programs whose instruction-fetch behaviour has
+//! the properties instruction prefetching research cares about —
+//!
+//! * instruction footprints far larger than a 32 KiB L1 I-cache,
+//! * a request-serving loop with a skewed request mix,
+//! * shared library code reached from many different calling contexts (the
+//!   prerequisite for *conditional* prefetching to pay off), and
+//! * per-application degrees of spatial miss locality (the prerequisite for
+//!   prefetch *coalescing* to pay off).
+//!
+//! # Examples
+//!
+//! ```
+//! use ispy_trace::apps;
+//!
+//! let model = apps::wordpress();
+//! let program = model.generate();
+//! let trace = program.record_trace(model.default_input(), 10_000);
+//! assert_eq!(trace.len(), 10_000);
+//! assert!(program.text_bytes() > 32 * 1024); // footprint exceeds L1I
+//! ```
+//!
+//! [Khan et al., MICRO 2020]: https://doi.org/10.1109/MICRO50266.2020.00024
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod apps;
+pub mod block;
+pub mod exec;
+pub mod gen;
+pub mod program;
+pub mod rng;
+pub mod trace;
+
+pub use addr::{Addr, Line, LINE_BYTES};
+pub use apps::AppModel;
+pub use block::{BasicBlock, BlockId};
+pub use exec::{InputSpec, Walker};
+pub use program::Program;
+pub use trace::Trace;

@@ -1,0 +1,300 @@
+//! Small, self-contained deterministic PRNG.
+//!
+//! Workload generation and trace replay must be bit-reproducible across
+//! builds and platform/crate-version changes, so instead of depending on an
+//! external RNG crate whose stream may change between releases, this module
+//! implements the well-known [PCG32] generator (seeded through SplitMix64)
+//! plus the few sampling helpers the generator and walker need.
+//!
+//! [PCG32]: https://www.pcg-random.org/
+
+/// A deterministic PCG-XSH-RR 32-bit random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_trace::rng::Pcg32;
+///
+/// let mut a = Pcg32::seed_from_u64(42);
+/// let mut b = Pcg32::seed_from_u64(42);
+/// assert_eq!(a.next_u32(), b.next_u32()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 step, used to expand a single `u64` seed into PCG state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let inc = splitmix64(&mut sm) | 1;
+        let mut rng = Pcg32 { state: 0, inc };
+        rng.state = state.wrapping_add(inc);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// function / request type its own reproducible stream.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let s = self.next_u64() ^ tag.wrapping_mul(0x9E3779B97F4A7C15);
+        Pcg32::seed_from_u64(s)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling (Lemire); slight bias is irrelevant
+        // for workload synthesis and it keeps the stream cheap.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Samples a geometric-ish count with the given mean, at least 1.
+    pub fn geometric(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean >= 1.0);
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        // Inverse-CDF sampling of Geometric(p) on {1, 2, ...}.
+        let u = self.f64().max(f64::MIN_POSITIVE);
+        let n = (u.ln() / (1.0 - p).ln()).ceil();
+        (n as u64).max(1)
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut x = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// Precomputed Zipf sampler over `{0, .., n-1}` with skew `s`.
+///
+/// Used to draw request types with a data-center-like skew (a handful of hot
+/// request kinds plus a long tail).
+///
+/// # Examples
+///
+/// ```
+/// use ispy_trace::rng::{Pcg32, Zipf};
+///
+/// let zipf = Zipf::new(16, 1.1);
+/// let mut rng = Pcg32::seed_from_u64(7);
+/// let first = zipf.sample(&mut rng);
+/// assert!(first < 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one item index.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Pcg32::seed_from_u64(123);
+        let mut b = Pcg32::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let v = rng.range_inclusive(3, 5);
+            assert!((3..=5).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(77);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn geometric_mean_roughly_matches() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(8.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((6.0..10.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weight() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..5000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mut counts = vec![0u32; 50];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Pcg32::seed_from_u64(100);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(1);
+        // Distinct fork calls advance the parent, so children differ.
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

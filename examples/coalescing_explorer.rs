@@ -1,0 +1,45 @@
+//! Explore prefetch coalescing (paper §III-B / Fig. 19) on verilator, the
+//! app whose machine-generated straight-line code makes coalescing shine.
+//!
+//! ```sh
+//! cargo run --release --example coalescing_explorer
+//! ```
+
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+fn main() {
+    let model = apps::verilator().scaled_down(4);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 250_000);
+    let sim_cfg = SimConfig::default();
+    let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
+    let base = run(&program, &trace, &sim_cfg, RunOptions::default());
+
+    println!("verilator: {} misses over {} lines\n", prof.misses.total_misses(), prof.misses.num_lines());
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>10}",
+        "mask bits", "ops", "bytes added", "speedup", "<4 lines"
+    );
+    for bits in [1u8, 2, 4, 8, 16, 32, 64] {
+        let cfg = IspyConfig::coalescing_only().with_coalesce_bits(bits);
+        let plan = Planner::new(&program, &trace, &prof, cfg).plan();
+        let r = run(&program, &trace, &sim_cfg, RunOptions {
+            injections: Some(&plan.injections),
+            ..Default::default()
+        });
+        println!(
+            "{:>9} {:>8} {:>12} {:>11.3}x {:>9.1}%",
+            bits,
+            plan.stats.ops_total(),
+            plan.stats.injected_bytes,
+            r.speedup_over(&base),
+            100.0 * plan.stats.coalesced_fraction_below(4),
+        );
+    }
+    println!("\nWider masks fold more prefetches into single instructions (fewer ops,");
+    println!("fewer bytes) — the paper settles on 8 bits as the hardware-complexity");
+    println!("sweet spot, and finds most coalesced prefetches bring in <4 lines (Fig. 20).");
+}

@@ -1,0 +1,57 @@
+//! Characterize the nine data-center applications like §II of the paper:
+//! front-end boundness, miss volume, and what a miss context looks like.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_profile
+//! ```
+
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+fn main() {
+    println!(
+        "{:<16} {:>9} {:>10} {:>8} {:>10} {:>9}",
+        "app", "text KiB", "fe-bound", "MPKI", "miss lines", "hot lines"
+    );
+    let sim_cfg = SimConfig::default();
+    for model in apps::all() {
+        let model = model.scaled_down(4);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 250_000);
+        let stats = trace.stats(&program);
+        let base = run(&program, &trace, &sim_cfg, RunOptions::default());
+        let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
+        println!(
+            "{:<16} {:>9} {:>9.1}% {:>8.1} {:>10} {:>9}",
+            program.name(),
+            program.text_bytes() / 1024,
+            100.0 * base.frontend_bound(),
+            base.mpki(),
+            prof.misses.num_lines(),
+            stats.distinct_lines,
+        );
+    }
+
+    // Deep-dive: what does a discovered miss context look like on wordpress?
+    let model = apps::wordpress().scaled_down(4);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 250_000);
+    let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
+    let plan = Planner::new(&program, &trace, &prof, IspyConfig::default()).plan();
+    println!("\nwordpress plan: {:?}", plan.injections.op_histogram());
+    if let Some((site, blocks)) = plan.context_details.first() {
+        println!(
+            "example context: a prefetch at {site} fires only when blocks {:?} are in the LBR",
+            blocks.iter().map(|b| b.0).collect::<Vec<_>>()
+        );
+    }
+    if let Some((line, stats)) = prof.misses.lines_by_count().first() {
+        println!(
+            "hottest missing line: {line} missed {} times, most often from {}",
+            stats.count,
+            stats.dominant_block().map(|b| b.to_string()).unwrap_or_default()
+        );
+    }
+}

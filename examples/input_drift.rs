@@ -1,0 +1,52 @@
+//! Input generalization (paper Fig. 16): profile under one request mix,
+//! then serve different mixes with the same injected binary.
+//!
+//! ```sh
+//! cargo run --release --example input_drift
+//! ```
+
+use ispy_baselines::asmdb::{AsmDbConfig, AsmDbPlanner};
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+fn main() {
+    let model = apps::wordpress().scaled_down(4);
+    let program = model.generate();
+    let events = 250_000;
+    let sim_cfg = SimConfig::default();
+
+    // Profile and plan on the default (variant 0) input only.
+    let profiled_trace = program.record_trace(model.default_input(), events);
+    let prof = profile(&program, &profiled_trace, &sim_cfg, SampleRate::EXACT);
+    let ispy = Planner::new(&program, &profiled_trace, &prof, IspyConfig::default()).plan();
+    let asmdb = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
+
+    println!("wordpress, plans built from the profiled input only\n");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>14}", "input", "ideal", "asmdb", "i-spy", "i-spy %ideal");
+    for k in 0..5 {
+        let input = model.input_variant(k);
+        let trace = program.record_trace(input, events);
+        let base = run(&program, &trace, &sim_cfg, RunOptions::default());
+        let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
+        let ra = run(&program, &trace, &sim_cfg, RunOptions {
+            injections: Some(&asmdb.injections),
+            ..Default::default()
+        });
+        let ri = run(&program, &trace, &sim_cfg, RunOptions {
+            injections: Some(&ispy.injections),
+            ..Default::default()
+        });
+        println!(
+            "{:<10} {:>11.3}x {:>11.3}x {:>11.3}x {:>13.1}%",
+            if k == 0 { "profiled".to_string() } else { format!("drift-{k}") },
+            ideal.speedup_over(&base),
+            ra.speedup_over(&base),
+            ri.speedup_over(&base),
+            100.0 * ri.fraction_of_ideal(&base, &ideal),
+        );
+    }
+    println!("\nConditional prefetching keys on run-time context, so the plan");
+    println!("degrades gracefully when the request mix drifts (paper §VI-A).");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: profile an application, build an I-SPY plan, and measure the
+//! speedup — the whole pipeline in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+fn main() {
+    // 1. A synthetic data-center application (its "binary") and a recorded
+    //    steady-state execution trace.
+    let model = apps::wordpress().scaled_down(4);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 300_000);
+    println!(
+        "app: {} — {} KiB text, {} basic blocks, {} block events",
+        program.name(),
+        program.text_bytes() / 1024,
+        program.num_blocks(),
+        trace.len()
+    );
+
+    // 2. Online profiling: LBR + PEBS-style miss sampling over a replay.
+    let sim_cfg = SimConfig::default();
+    let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
+    println!(
+        "profile: {} I-cache misses over {} distinct lines",
+        prof.misses.total_misses(),
+        prof.misses.num_lines()
+    );
+
+    // 3. Offline analysis: injection sites, contexts, coalescing.
+    let plan = Planner::new(&program, &trace, &prof, IspyConfig::default()).plan();
+    println!(
+        "plan: {} ops at {} sites ({} conditional contexts), +{:.1}% static footprint",
+        plan.stats.ops_total(),
+        plan.stats.sites,
+        plan.stats.contexts_adopted,
+        100.0 * plan.stats.static_increase
+    );
+
+    // 4. Deploy: replay the same trace with the injected prefetches.
+    let baseline = run(&program, &trace, &sim_cfg, RunOptions::default());
+    let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
+    let ispy = run(
+        &program,
+        &trace,
+        &sim_cfg,
+        RunOptions { injections: Some(&plan.injections), ..Default::default() },
+    );
+    println!(
+        "speedup: {:.3}x (ideal cache: {:.3}x) — {:.1}% of ideal",
+        ispy.speedup_over(&baseline),
+        ideal.speedup_over(&baseline),
+        100.0 * ispy.fraction_of_ideal(&baseline, &ideal)
+    );
+    println!(
+        "misses: {} -> {} ({:.1}% MPKI reduction), prefetch accuracy {:.1}%",
+        baseline.i_misses,
+        ispy.i_misses,
+        100.0 * ispy.mpki_reduction_vs(&baseline),
+        100.0 * ispy.accuracy()
+    );
+}

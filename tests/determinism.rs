@@ -1,0 +1,49 @@
+//! Determinism: every stage of the pipeline is bit-reproducible, which is
+//! what makes trace-driven comparisons meaningful.
+
+use ispy_core::{IspyConfig, Planner};
+use ispy_profile::{profile, SampleRate};
+use ispy_sim::{run, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let once = || {
+        let model = apps::kafka().scaled_down(20);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 40_000);
+        let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let plan = Planner::new(&program, &trace, &prof, IspyConfig::default()).plan();
+        let result = run(
+            &program,
+            &trace,
+            &SimConfig::default(),
+            RunOptions { injections: Some(&plan.injections), ..Default::default() },
+        );
+        (trace, plan, result)
+    };
+    let (t1, p1, r1) = once();
+    let (t2, p2, r2) = once();
+    assert_eq!(t1, t2, "trace generation must be reproducible");
+    assert_eq!(p1.injections, p2.injections, "planning must be reproducible");
+    assert_eq!(p1.stats, p2.stats);
+    assert_eq!(r1, r2, "simulation must be reproducible");
+}
+
+#[test]
+fn different_inputs_produce_different_traces() {
+    let model = apps::kafka().scaled_down(20);
+    let program = model.generate();
+    let a = program.record_trace(model.input_variant(0), 10_000);
+    let b = program.record_trace(model.input_variant(1), 10_000);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn generation_is_stable_across_scales() {
+    // Scaling down changes the program, but deterministically.
+    let a = apps::tomcat().scaled_down(10).generate();
+    let b = apps::tomcat().scaled_down(10).generate();
+    assert_eq!(a.num_blocks(), b.num_blocks());
+    assert_eq!(a.text_bytes(), b.text_bytes());
+}

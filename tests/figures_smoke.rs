@@ -1,0 +1,54 @@
+//! Every figure driver renders a non-empty, well-formed table at test scale.
+
+use ispy_harness::{figures, Scale, Session};
+
+#[test]
+fn every_figure_renders() {
+    let session = Session::new(Scale::test());
+    for spec in figures::all() {
+        let table = (spec.run)(&session);
+        assert_eq!(table.id, spec.id);
+        assert!(!table.headers.is_empty(), "{}: no headers", spec.id);
+        assert!(!table.rows.is_empty(), "{}: no rows", spec.id);
+        for row in &table.rows {
+            assert_eq!(row.len(), table.headers.len(), "{}: ragged row", spec.id);
+        }
+        // Text and JSON renderings are non-trivial.
+        let text = table.to_string();
+        assert!(text.contains(spec.id));
+        let json = table.to_json();
+        assert!(json.contains(&format!("\"id\": \"{}\"", spec.id)));
+    }
+}
+
+#[test]
+fn fig01_reports_all_nine_apps() {
+    let session = Session::new(Scale::test());
+    let t = figures::fig01::run(&session);
+    assert_eq!(t.rows.len(), 9);
+    let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+    assert_eq!(names, ispy_trace::apps::NAMES.to_vec());
+}
+
+#[test]
+fn fig10_fraction_of_ideal_is_sane() {
+    let session = Session::new(Scale::test());
+    let t = figures::fig10::run(&session);
+    for (r, row) in t.rows.iter().enumerate() {
+        let frac = t.cell_f64(r, 4).expect("parsable percentage");
+        assert!(
+            (0.0..=100.0).contains(&frac),
+            "{}: fraction of ideal {frac} out of range",
+            row[0]
+        );
+    }
+}
+
+#[test]
+fn fig03_coverage_grows_with_threshold() {
+    let session = Session::with_apps(Scale::test(), vec![ispy_trace::apps::wordpress()]);
+    let t = figures::fig03::run(&session);
+    let first = t.cell_f64(0, 1).expect("coverage");
+    let last = t.cell_f64(t.rows.len() - 1, 1).expect("coverage");
+    assert!(last >= first, "coverage must not shrink as the threshold rises");
+}

@@ -1,0 +1,143 @@
+//! Structural invariants of produced plans, checked across planners.
+
+use ispy_baselines::asmdb::{AsmDbConfig, AsmDbPlanner};
+use ispy_baselines::spatial::{SpatialMode, SpatialPlanner};
+use ispy_core::{IspyConfig, Planner};
+use ispy_harness::{Scale, Session};
+use ispy_isa::PrefetchOp;
+use ispy_trace::apps;
+use std::collections::HashSet;
+
+fn session() -> Session {
+    Session::with_apps(Scale::test(), vec![apps::cassandra(), apps::verilator()])
+}
+
+/// Every injected op's targets stay within the coalescing window of its
+/// base line, and conditional ops carry non-empty context hashes.
+#[test]
+fn ops_are_well_formed() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let c = s.comparison(i);
+        for (_, ops) in c.ispy_plan.injections.iter() {
+            for op in ops {
+                let base = op.base_line();
+                for t in op.target_lines() {
+                    let d = t.distance_from(base).expect("targets at or after base");
+                    assert!(d <= 8, "target {d} lines past base exceeds the window");
+                }
+                if let Some(ctx) = op.condition() {
+                    assert!(ctx.bits() != 0, "conditional op with empty context hash");
+                    assert_eq!(ctx.width(), 16, "default hash width");
+                }
+            }
+        }
+    }
+}
+
+/// Injection sites must be blocks that actually execute in the profiled
+/// trace — injecting into dead code would be useless.
+#[test]
+fn sites_are_live_blocks() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let ctx = &s.apps()[i];
+        let c = s.comparison(i);
+        let live: HashSet<u32> = ctx.trace.iter().map(|b| b.0).collect();
+        for (site, _) in c.ispy_plan.injections.iter() {
+            assert!(live.contains(&site.0), "site {site} never executes");
+        }
+        for (site, _) in c.asmdb_plan.injections.iter() {
+            assert!(live.contains(&site.0), "AsmDB site {site} never executes");
+        }
+    }
+}
+
+/// The static-footprint accounting matches the op encodings exactly.
+#[test]
+fn footprint_accounting_is_exact() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let c = s.comparison(i);
+        let by_encoding: u64 = c
+            .ispy_plan
+            .injections
+            .iter()
+            .flat_map(|(_, ops)| ops.iter())
+            .map(|op| u64::from(op.encoded_bytes()))
+            .sum();
+        assert_eq!(by_encoding, c.ispy_plan.stats.injected_bytes);
+        let expected =
+            by_encoding as f64 / s.apps()[i].program.text_bytes() as f64;
+        assert!((c.ispy_plan.stats.static_increase - expected).abs() < 1e-12);
+    }
+}
+
+/// Op-kind counters in the stats agree with the injected instructions.
+#[test]
+fn stats_match_injections() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let c = s.comparison(i);
+        let mut plain = 0;
+        let mut cond = 0;
+        let mut coal = 0;
+        let mut cl = 0;
+        for (_, ops) in c.ispy_plan.injections.iter() {
+            for op in ops {
+                match op {
+                    PrefetchOp::Plain { .. } => plain += 1,
+                    PrefetchOp::Cond { .. } => cond += 1,
+                    PrefetchOp::Coalesced { .. } => coal += 1,
+                    PrefetchOp::CondCoalesced { .. } => cl += 1,
+                }
+            }
+        }
+        let st = &c.ispy_plan.stats;
+        assert_eq!((plain, cond, coal, cl), (st.ops_plain, st.ops_cond, st.ops_coalesced, st.ops_cond_coalesced));
+        assert_eq!(st.ops_total(), c.ispy_plan.injections.num_ops());
+    }
+}
+
+/// Ablation planners respect their switches (conditional-only has no
+/// coalesced ops and vice versa); AsmDB and the spatial planners emit only
+/// their op kinds.
+#[test]
+fn planner_variants_emit_expected_op_kinds() {
+    let s = session();
+    let ctx = &s.apps()[0];
+    let cond = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::conditional_only())
+        .plan();
+    assert_eq!(cond.stats.ops_coalesced + cond.stats.ops_cond_coalesced, 0);
+    let coal = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::coalescing_only())
+        .plan();
+    assert_eq!(coal.stats.ops_cond + coal.stats.ops_cond_coalesced, 0);
+    let asmdb = AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
+    assert_eq!(asmdb.stats.ops_total(), asmdb.stats.ops_plain);
+    let cont = SpatialPlanner::new(&ctx.program, &ctx.profile, SpatialMode::Contiguous).plan();
+    assert_eq!(cont.stats.ops_cond + cont.stats.ops_cond_coalesced, 0);
+}
+
+/// The coalescing-size sweep monotonically (weakly) shrinks the op count:
+/// wider masks can only fold more prefetches together.
+#[test]
+fn wider_masks_do_not_increase_ops() {
+    let s = session();
+    let ctx = &s.apps()[1]; // verilator: spatially local
+    let mut prev = usize::MAX;
+    for bits in [1u8, 2, 4, 8, 16] {
+        let plan = Planner::new(
+            &ctx.program,
+            &ctx.trace,
+            &ctx.profile,
+            IspyConfig::coalescing_only().with_coalesce_bits(bits),
+        )
+        .plan();
+        assert!(
+            plan.stats.ops_total() <= prev,
+            "ops grew from {prev} to {} at {bits} bits",
+            plan.stats.ops_total()
+        );
+        prev = plan.stats.ops_total();
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ispy_core::coalesce::{coalesce_lines, decode_groups};
+use ispy_isa::{CoalesceMask, ContextHash, HashConfig};
+use ispy_sim::{Cache, CacheParams, CountingBloom, InsertPriority, Lbr};
+use ispy_trace::{Addr, Line};
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never exceeds its capacity and always hits right after fill.
+    #[test]
+    fn cache_capacity_and_fill_hit(
+        lines in prop::collection::vec(0u64..4096, 1..300),
+        ways in 1u32..8,
+        sets_pow in 1u32..5,
+    ) {
+        let sets = 1u64 << sets_pow;
+        let params = CacheParams { size_bytes: sets * u64::from(ways) * 64, ways, line_bytes: 64 };
+        let mut cache = Cache::new(params);
+        for &l in &lines {
+            cache.fill(Line::new(l), InsertPriority::Mru, false);
+            prop_assert!(cache.access(Line::new(l)), "line just filled must hit");
+            prop_assert!(cache.occupancy() <= params.num_lines());
+        }
+    }
+
+    /// Half-priority insertion never increases occupancy beyond capacity and
+    /// the inserted line is still resident immediately afterwards.
+    #[test]
+    fn priority_insertion_is_safe(lines in prop::collection::vec(0u64..512, 1..200)) {
+        let mut cache = Cache::new(CacheParams { size_bytes: 8 * 64 * 4, ways: 4, line_bytes: 64 });
+        for &l in &lines {
+            cache.fill(Line::new(l), InsertPriority::Half, true);
+            prop_assert!(cache.contains(Line::new(l)));
+        }
+    }
+
+    /// The counting Bloom filter has no false negatives and returns to the
+    /// empty state after balanced removals.
+    #[test]
+    fn bloom_no_false_negatives(addrs in prop::collection::vec(0u64..100_000, 1..64)) {
+        let cfg = HashConfig::default();
+        let mut bloom = CountingBloom::new(cfg);
+        for &a in &addrs {
+            bloom.insert(Addr::new(a * 16));
+        }
+        for &a in &addrs {
+            let ctx = cfg.context_hash([Addr::new(a * 16)]);
+            prop_assert!(ctx.matches(bloom.runtime_hash()), "inserted block must match");
+        }
+        for &a in &addrs {
+            bloom.remove(Addr::new(a * 16));
+        }
+        prop_assert_eq!(bloom.runtime_hash(), 0);
+    }
+
+    /// The LBR's incremental runtime hash always equals a from-scratch hash
+    /// of its current contents (the Fig. 7 "precisely tracks" claim).
+    #[test]
+    fn lbr_hash_matches_rebuild(addrs in prop::collection::vec(0u64..10_000, 1..200)) {
+        let cfg = HashConfig::default();
+        let mut lbr = Lbr::new(32, cfg);
+        for &a in &addrs {
+            lbr.push(Addr::new(a * 16));
+            let mut fresh = CountingBloom::new(cfg);
+            for e in lbr.entries() {
+                fresh.insert(e);
+            }
+            prop_assert_eq!(lbr.runtime_hash(), fresh.runtime_hash());
+        }
+    }
+
+    /// Context-hash matching is monotone: adding bits to the runtime hash
+    /// never turns a match into a non-match.
+    #[test]
+    fn context_match_is_monotone(ctx_bits in 0u64..0xFFFF, rt in 0u64..0xFFFF, extra in 0u64..0xFFFF) {
+        let ctx = ContextHash::from_bits(ctx_bits, 16);
+        if ctx.matches(rt) {
+            prop_assert!(ctx.matches(rt | extra));
+        }
+    }
+
+    /// Coalescing round-trips exactly: decoding the groups yields the input
+    /// line set, and no group spans more than the window.
+    #[test]
+    fn coalescing_roundtrip(
+        raw in prop::collection::btree_set(0u64..5_000, 1..80),
+        bits in 1u8..=64,
+    ) {
+        let lines: Vec<Line> = raw.iter().map(|&l| Line::new(l)).collect();
+        let groups = coalesce_lines(lines.clone(), bits);
+        prop_assert_eq!(decode_groups(&groups), lines);
+        for g in &groups {
+            if let Some(mask) = g.mask {
+                for extra in mask.decode(g.base) {
+                    let d = extra.distance_from(g.base).expect("forward");
+                    prop_assert!(d >= 1 && d <= u64::from(bits));
+                }
+            }
+        }
+    }
+
+    /// Mask encode/decode agree for arbitrary in-window line subsets.
+    #[test]
+    fn mask_roundtrip(base in 0u64..1_000_000, sel in 0u64..256) {
+        let b = Line::new(base);
+        let mask = CoalesceMask::from_bits(sel, 8);
+        let decoded: Vec<Line> = mask.decode(b).collect();
+        let rebuilt = CoalesceMask::from_lines(b, decoded.iter().copied(), 8)
+            .expect("decoded lines are in-window");
+        prop_assert_eq!(rebuilt.bits(), mask.bits());
+    }
+
+    /// Trace replay determinism for arbitrary seeds (the walker is a pure
+    /// function of the seed).
+    #[test]
+    fn walker_determinism(seed in 0u64..1_000_000) {
+        let model = ispy_trace::apps::finagle_http().scaled_down(40);
+        let program = model.generate();
+        let input = model.default_input().with_seed(seed);
+        let a = program.record_trace(input.clone(), 2_000);
+        let b = program.record_trace(input, 2_000);
+        prop_assert_eq!(a, b);
+    }
+}
