@@ -156,18 +156,12 @@ mod tests {
     #[test]
     fn lower_threshold_reduces_coverage() {
         let (program, _, prof) = setup();
-        let strict = AsmDbPlanner::new(
-            &program,
-            &prof,
-            AsmDbConfig::default().with_fanout_threshold(0.05),
-        )
-        .plan();
-        let loose = AsmDbPlanner::new(
-            &program,
-            &prof,
-            AsmDbConfig::default().with_fanout_threshold(0.99),
-        )
-        .plan();
+        let strict =
+            AsmDbPlanner::new(&program, &prof, AsmDbConfig::default().with_fanout_threshold(0.05))
+                .plan();
+        let loose =
+            AsmDbPlanner::new(&program, &prof, AsmDbConfig::default().with_fanout_threshold(0.99))
+                .plan();
         assert!(strict.stats.covered_lines < loose.stats.covered_lines);
         assert!(strict.stats.planned_coverage() < loose.stats.planned_coverage());
     }

@@ -165,17 +165,20 @@ mod tests {
         let cont = SpatialPlanner::new(&program, &prof, SpatialMode::Contiguous).plan();
         let nonc = SpatialPlanner::new(&program, &prof, SpatialMode::NonContiguous).plan();
         let scfg = SimConfig::default();
-        let rc = run(&program, &trace, &scfg, RunOptions {
-            injections: Some(&cont.injections),
-            ..Default::default()
-        });
-        let rn = run(&program, &trace, &scfg, RunOptions {
-            injections: Some(&nonc.injections),
-            ..Default::default()
-        });
+        let rc = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&cont.injections), ..Default::default() },
+        );
+        let rn = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&nonc.injections), ..Default::default() },
+        );
         assert!(
-            rc.pf_lines_issued + rc.pf_lines_resident
-                >= rn.pf_lines_issued + rn.pf_lines_resident
+            rc.pf_lines_issued + rc.pf_lines_resident >= rn.pf_lines_issued + rn.pf_lines_resident
         );
     }
 
@@ -190,14 +193,18 @@ mod tests {
         let cont = SpatialPlanner::new(&program, &prof, SpatialMode::Contiguous).plan();
         let nonc = SpatialPlanner::new(&program, &prof, SpatialMode::NonContiguous).plan();
         let scfg = SimConfig::default();
-        let rc = run(&program, &trace, &scfg, RunOptions {
-            injections: Some(&cont.injections),
-            ..Default::default()
-        });
-        let rn = run(&program, &trace, &scfg, RunOptions {
-            injections: Some(&nonc.injections),
-            ..Default::default()
-        });
+        let rc = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&cont.injections), ..Default::default() },
+        );
+        let rn = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&nonc.injections), ..Default::default() },
+        );
         assert!(
             rn.cycles <= rc.cycles + rc.cycles / 50,
             "non-contiguous should not lose badly: {} vs {}",
@@ -213,10 +220,12 @@ mod tests {
         let base = run(&program, &trace, &scfg, RunOptions::default());
         for mode in [SpatialMode::Contiguous, SpatialMode::NonContiguous] {
             let plan = SpatialPlanner::new(&program, &prof, mode).plan();
-            let r = run(&program, &trace, &scfg, RunOptions {
-                injections: Some(&plan.injections),
-                ..Default::default()
-            });
+            let r = run(
+                &program,
+                &trace,
+                &scfg,
+                RunOptions { injections: Some(&plan.injections), ..Default::default() },
+            );
             assert!(r.cycles < base.cycles, "{mode:?} must help");
         }
     }

@@ -47,13 +47,9 @@ impl HwPrefetcher for StreamPrefetcher {
         if !was_miss {
             return;
         }
-        let sequential =
-            self.last_miss.is_some_and(|prev| line.distance_from(prev) == Some(1));
-        self.degree = if sequential {
-            (self.degree * 2).min(self.max_degree)
-        } else {
-            self.min_degree
-        };
+        let sequential = self.last_miss.is_some_and(|prev| line.distance_from(prev) == Some(1));
+        self.degree =
+            if sequential { (self.degree * 2).min(self.max_degree) } else { self.min_degree };
         self.last_miss = Some(line);
         for d in 1..=u64::from(self.degree) {
             out.push(line.offset(d));
@@ -211,16 +207,20 @@ mod tests {
         let scfg = SimConfig::default();
         let base = run(&program, &trace, &scfg, RunOptions::default());
         let mut stream = StreamPrefetcher::new(1, 8);
-        let rs = run(&program, &trace, &scfg, RunOptions {
-            hw_prefetcher: Some(&mut stream),
-            ..Default::default()
-        });
+        let rs = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { hw_prefetcher: Some(&mut stream), ..Default::default() },
+        );
         assert!(rs.i_misses < base.i_misses, "stream should help sequential code");
         let mut rdip = RdipLite::new(3, 1 << 14);
-        let rr = run(&program, &trace, &scfg, RunOptions {
-            hw_prefetcher: Some(&mut rdip),
-            ..Default::default()
-        });
+        let rr = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { hw_prefetcher: Some(&mut rdip), ..Default::default() },
+        );
         assert!(rr.i_misses < base.i_misses, "rdip should help recurring sequences");
     }
 

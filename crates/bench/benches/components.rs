@@ -6,7 +6,9 @@ use ispy_core::{IspyConfig, Planner};
 use ispy_isa::hash::{fnv1_addr, murmur3_addr};
 use ispy_isa::HashConfig;
 use ispy_profile::{profile, scan_joint, JointQuery, SampleRate};
-use ispy_sim::{run, Cache, CacheParams, CountingBloom, InsertPriority, Lbr, RunOptions, SimConfig};
+use ispy_sim::{
+    run, Cache, CacheParams, CountingBloom, InsertPriority, Lbr, RunOptions, SimConfig,
+};
 use ispy_trace::{apps, Addr, BlockId, Line, Walker};
 use std::hint::black_box;
 
@@ -123,9 +125,7 @@ fn bench_scanner(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan");
     g.sample_size(20);
     g.measurement_time(std::time::Duration::from_secs(5));
-    g.bench_function("joint_scan_64_queries", |b| {
-        b.iter(|| scan_joint(&w.trace, 32, &queries))
-    });
+    g.bench_function("joint_scan_64_queries", |b| b.iter(|| scan_joint(&w.trace, 32, &queries)));
     g.finish();
 }
 

@@ -1,0 +1,68 @@
+//! Benchmarks for the parallel experiment harness itself: what the rayon-style
+//! fan-out and the sweep-aware planner baseline buy on the heaviest figure.
+//!
+//! `fig17_sweep/*` runs the full Fig. 17 context-size sweep (6 config points ×
+//! apps) at test scale, serial vs pooled — the end-to-end number `repro fig17`
+//! pays. `planner/*` isolates the baseline's win: a fresh `plan()` rescans the
+//! trace per config point, `plan_with_baseline()` reuses the session's cached
+//! candidate windows and joint counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ispy_core::{IspyConfig, Planner, PlannerBaseline};
+use ispy_harness::{figures, Scale, Session};
+use std::time::Duration;
+
+fn session() -> Session {
+    Session::with_apps(
+        Scale::test(),
+        vec![ispy_trace::apps::cassandra(), ispy_trace::apps::wordpress()],
+    )
+}
+
+fn bench_fig17_sweep(c: &mut Criterion) {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let _ = s.comparison(i);
+    }
+    let mut g = c.benchmark_group("fig17_sweep");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_millis(500));
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "serial" } else { "pool" };
+        g.bench_function(label, |b| {
+            ispy_parallel::set_threads(threads);
+            b.iter(|| figures::fig17::run(&s));
+            ispy_parallel::set_threads(0);
+        });
+    }
+    g.finish();
+}
+
+fn bench_planner_baseline(c: &mut Criterion) {
+    let s = session();
+    let ctx = &s.apps()[0];
+    // A warmed baseline, as a mid-sweep `repro` run would hold.
+    let warmed = PlannerBaseline::new();
+    Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
+        .plan_with_baseline(&warmed);
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("fresh_plan", |b| {
+        b.iter(|| {
+            Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default()).plan()
+        })
+    });
+    g.bench_function("warmed_baseline_plan", |b| {
+        b.iter(|| {
+            Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
+                .plan_with_baseline(&warmed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig17_sweep, bench_planner_baseline);
+criterion_main!(benches);

@@ -183,10 +183,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = IspyConfig::default()
-            .with_ctx_size(2)
-            .with_distances(10, 400)
-            .with_coalesce_bits(16);
+        let c =
+            IspyConfig::default().with_ctx_size(2).with_distances(10, 400).with_coalesce_bits(16);
         assert_eq!(c.ctx_size, 2);
         assert_eq!(c.min_prefetch_cycles, 10);
         assert_eq!(c.max_prefetch_cycles, 400);

@@ -59,7 +59,7 @@ pub fn discover(
     let mut best: Option<(f64, u64, u16)> = None;
 
     for subset in 1u16..(1u16 << n) {
-        if u32::from(subset.count_ones()) > ctx_size as u32 {
+        if subset.count_ones() > ctx_size as u32 {
             continue;
         }
         let support = counts.occurrences_with(subset);
@@ -85,7 +85,8 @@ pub fn discover(
     if p < baseline + gain_margin {
         return None;
     }
-    let blocks: Vec<BlockId> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| candidates[i]).collect();
+    let blocks: Vec<BlockId> =
+        (0..n).filter(|i| mask & (1 << i) != 0).map(|i| candidates[i]).collect();
     Some(ContextChoice { blocks, probability: p, support, baseline })
 }
 
@@ -153,10 +154,8 @@ pub fn discover_multi(
             if p < threshold {
                 continue;
             }
-            let new_hits: u64 = (0..size)
-                .filter(|&m| m & s == s && !covered[m])
-                .map(|m| counts.hits[m])
-                .sum();
+            let new_hits: u64 =
+                (0..size).filter(|&m| m & s == s && !covered[m]).map(|m| counts.hits[m]).sum();
             if new_hits == 0 {
                 continue;
             }
@@ -175,9 +174,9 @@ pub fn discover_multi(
             }
         }
         let Some((new_hits, p, support, mask)) = best else { break };
-        for m in 0..size {
+        for (m, c) in covered.iter_mut().enumerate().take(size) {
             if m & mask == mask {
-                covered[m] = true;
+                *c = true;
             }
         }
         covered_hits += new_hits;
@@ -285,10 +284,7 @@ mod tests {
 
     #[test]
     fn multi_context_respects_max() {
-        let c = JointCounts {
-            occurrences: vec![100, 20, 20, 0],
-            hits: vec![2, 18, 16, 0],
-        };
+        let c = JointCounts { occurrences: vec![100, 20, 20, 0], hits: vec![2, 18, 16, 0] };
         let (ctxs, coverage) = discover_multi(&c, &[b(1), b(2)], 4, 5, 0.05, 0.3, 1);
         assert_eq!(ctxs.len(), 1);
         assert!(coverage < 0.6);

@@ -44,5 +44,5 @@ pub mod planner;
 pub mod window;
 
 pub use config::IspyConfig;
-pub use planner::{Plan, PlanStats, Planner};
+pub use planner::{Plan, PlanStats, Planner, PlannerBaseline};
 pub use window::SiteCandidate;

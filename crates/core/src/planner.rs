@@ -3,11 +3,14 @@
 use crate::coalesce::{coalesce_lines, CoalescedGroup};
 use crate::config::IspyConfig;
 use crate::context::{discover_multi, ContextChoice};
-use crate::window::{find_candidates, select_covering_sites, SelectedSite, SelectionPolicy, SiteCandidate};
+use crate::window::{
+    find_candidates, select_covering_sites, SelectedSite, SelectionPolicy, SiteCandidate,
+};
 use ispy_isa::{ContextHash, InjectionMap, PrefetchOp};
-use ispy_profile::{scan_joint, JointQuery, Profile};
+use ispy_profile::{scan_joint, JointCounts, JointQuery, Profile};
 use ispy_trace::{BlockId, Line, Program, Trace};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Aggregate statistics about a produced plan.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -99,6 +102,150 @@ pub struct Plan {
     pub context_details: Vec<(BlockId, Vec<BlockId>)>,
 }
 
+/// Window-search parameters that shape a line's site candidates: changing
+/// any of them invalidates cached candidate lists.
+type WindowKey = (u32, u32, usize);
+
+/// Per-line window candidates, keyed by raw cache-line address.
+type CandidateMap = BTreeMap<u64, Vec<SiteCandidate>>;
+
+/// Identity of one joint-scan query. The target positions are derived from
+/// the target block over the (fixed) trace, so the block id stands in for
+/// them; everything else is the query verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JointKey {
+    site: u32,
+    target: u32,
+    horizon: u32,
+    candidates: Vec<u32>,
+}
+
+/// Reusable, thread-safe caches for the parts of [`Planner::plan`] that
+/// depend only on the (program, trace, profile) triple — not on the
+/// [`IspyConfig`] being evaluated:
+///
+/// * per-block trace positions (the joint queries' targets),
+/// * per-line window candidates, keyed by the window parameters
+///   (`min`/`max` prefetch cycles, search-node cap),
+/// * joint LBR statistics per (site, target, horizon, candidates) query —
+///   the linear trace scans feeding [`crate::context::discover_multi`].
+///
+/// Sensitivity sweeps (Figs. 12/17/18/19 and the ablations) replan the same
+/// app under many configs; with a shared baseline each distinct trace scan
+/// runs once instead of once per config point. A baseline is only valid for
+/// the exact (program, trace, profile) it was first used with — callers
+/// (the harness `Session`) keep one per prepared app.
+///
+/// [`Planner::plan_with_baseline`] is bit-identical to [`Planner::plan`]:
+/// cached values are exactly what the fresh computation would produce, and
+/// concurrent fills compute the same values. Cache misses are computed
+/// under the cache lock, so concurrent sweeps of one app serialize their
+/// scans instead of duplicating them (plans for *different* apps use
+/// different baselines and stay fully parallel).
+#[derive(Debug, Default)]
+pub struct PlannerBaseline {
+    positions: Mutex<HashMap<u32, Arc<Vec<u32>>>>,
+    candidates: Mutex<HashMap<WindowKey, Arc<CandidateMap>>>,
+    joint: Mutex<HashMap<JointKey, Arc<JointCounts>>>,
+}
+
+impl PlannerBaseline {
+    /// Creates an empty baseline (caches fill lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-line window candidates under `planner`'s window parameters,
+    /// computed once per distinct parameter set.
+    fn candidates_for(&self, planner: &Planner) -> Arc<CandidateMap> {
+        let cfg = &planner.cfg;
+        let key: WindowKey =
+            (cfg.min_prefetch_cycles, cfg.max_prefetch_cycles, cfg.max_search_nodes);
+        let mut cache = self.candidates.lock().expect("candidates lock");
+        if let Some(map) = cache.get(&key) {
+            return Arc::clone(map);
+        }
+        let mut map = CandidateMap::new();
+        for (line, line_stats) in planner.profile.misses.lines_by_count() {
+            let Some(target_block) = line_stats.dominant_block() else { continue };
+            map.insert(
+                line.raw(),
+                find_candidates(
+                    &planner.profile.cfg,
+                    target_block,
+                    cfg.min_prefetch_cycles,
+                    cfg.max_prefetch_cycles,
+                    cfg.max_search_nodes,
+                ),
+            );
+        }
+        let map = Arc::new(map);
+        cache.insert(key, Arc::clone(&map));
+        map
+    }
+
+    /// Trace positions for each of `blocks`, filling any uncached ones in
+    /// one shared pass over the trace (mirrors `Planner::fill_positions`).
+    fn positions_for(&self, planner: &Planner, blocks: &[BlockId]) -> HashMap<u32, Arc<Vec<u32>>> {
+        let mut cache = self.positions.lock().expect("positions lock");
+        let missing: std::collections::HashSet<u32> =
+            blocks.iter().map(|b| b.0).filter(|b| !cache.contains_key(b)).collect();
+        if !missing.is_empty() {
+            let mut fresh: HashMap<u32, Vec<u32>> =
+                missing.iter().map(|&b| (b, Vec::new())).collect();
+            for (idx, block) in planner.trace.iter().enumerate() {
+                if let Some(v) = fresh.get_mut(&block.0) {
+                    v.push(idx as u32);
+                }
+            }
+            for (b, v) in fresh {
+                cache.insert(b, Arc::new(v));
+            }
+        }
+        blocks.iter().map(|b| (b.0, Arc::clone(&cache[&b.0]))).collect()
+    }
+
+    /// Answers `queries` (targets given as blocks) from the joint cache,
+    /// scanning the trace once for whatever subset is uncached.
+    fn resolve_joint(
+        &self,
+        planner: &Planner,
+        queries: &[JointQuery],
+        targets: &[BlockId],
+    ) -> Vec<Arc<JointCounts>> {
+        let keys: Vec<JointKey> = queries
+            .iter()
+            .zip(targets)
+            .map(|(q, t)| JointKey {
+                site: q.site.0,
+                target: t.0,
+                horizon: q.horizon_blocks,
+                candidates: q.candidates.iter().map(|b| b.0).collect(),
+            })
+            .collect();
+        let mut cache = self.joint.lock().expect("joint lock");
+        let missing: Vec<usize> =
+            (0..queries.len()).filter(|&i| !cache.contains_key(&keys[i])).collect();
+        if !missing.is_empty() {
+            let blocks: Vec<BlockId> = missing.iter().map(|&i| targets[i]).collect();
+            let positions = self.positions_for(planner, &blocks);
+            let subset: Vec<JointQuery> = missing
+                .iter()
+                .map(|&i| {
+                    let mut q = queries[i].clone();
+                    q.target_positions = positions[&targets[i].0].as_ref().clone();
+                    q
+                })
+                .collect();
+            let results = scan_joint(planner.trace, planner.profile.lbr_depth, &subset);
+            for (&i, counts) in missing.iter().zip(results) {
+                cache.insert(keys[i].clone(), Arc::new(counts));
+            }
+        }
+        keys.iter().map(|k| Arc::clone(&cache[k])).collect()
+    }
+}
+
 /// One miss line's planning state between passes.
 struct Pending {
     site: SelectedSite,
@@ -139,7 +286,6 @@ impl<'a> Planner<'a> {
         &self.cfg
     }
 
-
     /// Predictor-candidate pool for one (site, target): the site's dynamic
     /// predecessors (Fig. 6's path-into-the-site blocks) plus miss-history
     /// blocks ranked by lift over their base rate.
@@ -163,7 +309,7 @@ impl<'a> Planner<'a> {
                     return None;
                 }
                 let expected =
-                    (self.profile.cfg.exec_count(b) as f64 * depth / trace_len).min(1.0).max(1e-9);
+                    (self.profile.cfg.exec_count(b) as f64 * depth / trace_len).clamp(1e-9, 1.0);
                 let lift = frac / expected;
                 (lift >= 1.2).then_some((lift, frac, b))
             })
@@ -216,6 +362,38 @@ impl<'a> Planner<'a> {
 
     /// Runs the analysis and produces the plan.
     pub fn plan(&self) -> Plan {
+        self.plan_impl(None)
+    }
+
+    /// Runs the analysis, reusing (and filling) `baseline`'s caches for the
+    /// config-independent trace-scan state. Produces a bit-identical plan
+    /// to [`Planner::plan`]; the baseline must have been created for this
+    /// planner's exact (program, trace, profile).
+    pub fn plan_with_baseline(&self, baseline: &PlannerBaseline) -> Plan {
+        self.plan_impl(Some(baseline))
+    }
+
+    /// Resolves joint queries either directly (one fresh scan for the whole
+    /// batch) or through the baseline's cache.
+    fn resolve_queries(
+        &self,
+        queries: &mut [JointQuery],
+        targets: &[BlockId],
+        baseline: Option<&PlannerBaseline>,
+    ) -> Vec<Arc<JointCounts>> {
+        match baseline {
+            None => {
+                self.fill_positions(queries, targets);
+                scan_joint(self.trace, self.profile.lbr_depth, queries)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect()
+            }
+            Some(b) => b.resolve_joint(self, queries, targets),
+        }
+    }
+
+    fn plan_impl(&self, baseline: Option<&PlannerBaseline>) -> Plan {
         let mut stats = PlanStats {
             coalesced_distance_hist: vec![0; usize::from(self.cfg.coalesce_bits)],
             lines_per_op_hist: vec![0; usize::from(self.cfg.coalesce_bits) + 1],
@@ -229,6 +407,9 @@ impl<'a> Planner<'a> {
         let mut query_targets: Vec<BlockId> = Vec::new();
         // Unchosen window candidates per line, for the retry pass.
         let mut spare_candidates: BTreeMap<u64, (BlockId, Vec<SiteCandidate>)> = BTreeMap::new();
+        // With a baseline, every line's window candidates come from one
+        // shared per-window-params map instead of per-plan searches.
+        let cached_candidates = baseline.map(|b| b.candidates_for(self));
         for (line, line_stats) in self.profile.misses.lines_by_count() {
             if line_stats.count < self.cfg.min_miss_count {
                 continue;
@@ -238,13 +419,16 @@ impl<'a> Planner<'a> {
                 stats.uncovered_lines += 1;
                 continue;
             };
-            let candidates = find_candidates(
-                &self.profile.cfg,
-                target_block,
-                self.cfg.min_prefetch_cycles,
-                self.cfg.max_prefetch_cycles,
-                self.cfg.max_search_nodes,
-            );
+            let candidates = match &cached_candidates {
+                Some(map) => map.get(&line.raw()).cloned().unwrap_or_default(),
+                None => find_candidates(
+                    &self.profile.cfg,
+                    target_block,
+                    self.cfg.min_prefetch_cycles,
+                    self.cfg.max_prefetch_cycles,
+                    self.cfg.max_search_nodes,
+                ),
+            };
             // Coverage- and precision-driven multi-site selection: a miss
             // reached over several paths gets one prefetch per covering
             // path; imprecise sites are admitted only because the run-time
@@ -274,11 +458,8 @@ impl<'a> Planner<'a> {
             }
             stats.covered_lines += 1;
             let chosen_blocks: Vec<BlockId> = sites.iter().map(|s| s.cand.block).collect();
-            let spares: Vec<SiteCandidate> = candidates
-                .iter()
-                .filter(|c| !chosen_blocks.contains(&c.block))
-                .copied()
-                .collect();
+            let spares: Vec<SiteCandidate> =
+                candidates.iter().filter(|c| !chosen_blocks.contains(&c.block)).copied().collect();
             if !spares.is_empty() {
                 spare_candidates.insert(line.raw(), (target_block, spares));
             }
@@ -325,8 +506,7 @@ impl<'a> Planner<'a> {
 
         // ---- Pass 2: one linear scan answers every context query. --------
         if !queries.is_empty() {
-            self.fill_positions(&mut queries, &query_targets);
-            let results = scan_joint(self.trace, self.profile.lbr_depth, &queries);
+            let results = self.resolve_queries(&mut queries, &query_targets, baseline);
             for entry in &mut pending {
                 let Some(qi) = entry.query else {
                     // Needs-context sites with no query (no predictor
@@ -458,8 +638,7 @@ impl<'a> Planner<'a> {
                 }
             }
             if !retry_queries.is_empty() {
-                self.fill_positions(&mut retry_queries, &retry_targets);
-                let results = scan_joint(self.trace, self.profile.lbr_depth, &retry_queries);
+                let results = self.resolve_queries(&mut retry_queries, &retry_targets, baseline);
                 for entry in &mut retry_entries {
                     let counts = &results[entry.query.expect("retry entries carry queries")];
                     let unconditional = counts.conditional_probability(0).unwrap_or(0.0);
@@ -514,8 +693,7 @@ impl<'a> Planner<'a> {
             let ctx_hash: Option<ContextHash> = if ctx_blocks.is_empty() {
                 None
             } else {
-                context_details
-                    .push((site, ctx_blocks.iter().map(|&b| BlockId(b)).collect()));
+                context_details.push((site, ctx_blocks.iter().map(|&b| BlockId(b)).collect()));
                 Some(self.cfg.hash.context_hash(
                     ctx_blocks.iter().map(|&b| self.program.block(BlockId(b)).start()),
                 ))
@@ -588,11 +766,8 @@ mod tests {
 
     #[test]
     fn plan_produces_ops_and_accounting() {
-        let (_, _, plan) = planned(
-            apps::cassandra().scaled_down(30),
-            30_000,
-            IspyConfig::default(),
-        );
+        let (_, _, plan) =
+            planned(apps::cassandra().scaled_down(30), 30_000, IspyConfig::default());
         assert!(plan.stats.target_lines > 10);
         assert!(plan.stats.covered_lines > 0);
         assert_eq!(plan.stats.ops_total(), plan.injections.num_ops());
@@ -602,11 +777,8 @@ mod tests {
 
     #[test]
     fn plan_speeds_up_execution() {
-        let (program, trace, plan) = planned(
-            apps::cassandra().scaled_down(30),
-            40_000,
-            IspyConfig::default(),
-        );
+        let (program, trace, plan) =
+            planned(apps::cassandra().scaled_down(30), 40_000, IspyConfig::default());
         let scfg = SimConfig::default();
         let base = run(&program, &trace, &scfg, RunOptions::default());
         let with = run(
@@ -627,22 +799,16 @@ mod tests {
 
     #[test]
     fn conditional_only_has_no_coalesced_ops() {
-        let (_, _, plan) = planned(
-            apps::cassandra().scaled_down(30),
-            20_000,
-            IspyConfig::conditional_only(),
-        );
+        let (_, _, plan) =
+            planned(apps::cassandra().scaled_down(30), 20_000, IspyConfig::conditional_only());
         assert_eq!(plan.stats.ops_coalesced, 0);
         assert_eq!(plan.stats.ops_cond_coalesced, 0);
     }
 
     #[test]
     fn coalescing_only_has_no_conditional_ops() {
-        let (_, _, plan) = planned(
-            apps::cassandra().scaled_down(30),
-            20_000,
-            IspyConfig::coalescing_only(),
-        );
+        let (_, _, plan) =
+            planned(apps::cassandra().scaled_down(30), 20_000, IspyConfig::coalescing_only());
         assert_eq!(plan.stats.ops_cond, 0);
         assert_eq!(plan.stats.ops_cond_coalesced, 0);
         assert_eq!(plan.stats.contexts_adopted, 0);
@@ -664,11 +830,8 @@ mod tests {
 
     #[test]
     fn injections_respect_coalesce_window() {
-        let (_, _, plan) = planned(
-            apps::verilator().scaled_down(30),
-            20_000,
-            IspyConfig::default(),
-        );
+        let (_, _, plan) =
+            planned(apps::verilator().scaled_down(30), 20_000, IspyConfig::default());
         for (_, ops) in plan.injections.iter() {
             for op in ops {
                 let targets = op.target_lines();
@@ -678,6 +841,70 @@ mod tests {
                     assert!(d <= 8, "distance {d} exceeds the 8-line window");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn baseline_replanning_matches_fresh_plans() {
+        // One shared baseline across every config variant of one app must
+        // reproduce each fresh plan exactly — injections AND stats — even
+        // though candidates, positions, and joint counts come from caches
+        // warmed by *other* variants.
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 25_000);
+        let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let baseline = PlannerBaseline::new();
+        let variants = vec![
+            IspyConfig::default(),
+            IspyConfig::conditional_only(),
+            IspyConfig::coalescing_only(),
+            IspyConfig::plain(),
+            IspyConfig::default().with_ctx_size(2),
+            IspyConfig::default().with_ctx_size(8),
+            IspyConfig::default().with_distances(15, 200),
+            IspyConfig::default().with_distances(27, 120),
+            IspyConfig::default().with_coalesce_bits(4),
+        ];
+        for cfg in variants {
+            let planner = Planner::new(&program, &trace, &prof, cfg.clone());
+            let fresh = planner.plan();
+            let reused = planner.plan_with_baseline(&baseline);
+            assert_eq!(fresh.injections, reused.injections, "cfg {cfg:?}");
+            assert_eq!(fresh.stats, reused.stats, "cfg {cfg:?}");
+            assert_eq!(fresh.context_details, reused.context_details, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_is_shareable_across_threads() {
+        let model = apps::cassandra().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 15_000);
+        let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let baseline = PlannerBaseline::new();
+        let serial: Vec<Plan> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| {
+                Planner::new(&program, &trace, &prof, IspyConfig::default().with_ctx_size(n)).plan()
+            })
+            .collect();
+        let parallel: Vec<Plan> = std::thread::scope(|s| {
+            let handles: Vec<_> = [1usize, 2, 4, 8]
+                .iter()
+                .map(|&n| {
+                    let (program, trace, prof, baseline) = (&program, &trace, &prof, &baseline);
+                    s.spawn(move || {
+                        Planner::new(program, trace, prof, IspyConfig::default().with_ctx_size(n))
+                            .plan_with_baseline(baseline)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.injections, b.injections);
+            assert_eq!(a.stats, b.stats);
         }
     }
 

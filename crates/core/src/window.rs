@@ -169,16 +169,13 @@ pub fn find_candidates(
 /// tie-broken toward more frequently executed blocks (better amortization of
 /// the injected instruction).
 pub fn select_site(cfg: &DynCfg, candidates: &[SiteCandidate]) -> Option<SiteCandidate> {
-    candidates
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            a.reach_prob
-                .partial_cmp(&b.reach_prob)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| cfg.exec_count(a.block).cmp(&cfg.exec_count(b.block)))
-                .then_with(|| b.block.0.cmp(&a.block.0))
-        })
+    candidates.iter().copied().max_by(|a, b| {
+        a.reach_prob
+            .partial_cmp(&b.reach_prob)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| cfg.exec_count(a.block).cmp(&cfg.exec_count(b.block)))
+            .then_with(|| b.block.0.cmp(&a.block.0))
+    })
 }
 
 /// A site chosen by [`select_covering_sites`], with its coverage/precision

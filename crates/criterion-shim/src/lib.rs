@@ -1,0 +1,305 @@
+//! A minimal, dependency-free stand-in for the Criterion benchmark harness.
+//!
+//! The build environment is fully offline, so the real `criterion` crate
+//! cannot be fetched; this shim keeps the workspace's `[[bench]]` targets
+//! compiling and *running* with the same source code. It implements the
+//! subset of the API the benches use — `Criterion`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a plain
+//! warmup-then-measure timing loop instead of Criterion's statistics
+//! engine. Numbers are mean wall-clock per iteration; good enough to track
+//! the perf trajectory, not a substitute for real confidence intervals.
+//!
+//! Swap the workspace `criterion` dependency back to the crates.io package
+//! when a registry is available — no source changes needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on timed iterations per benchmark, so nanosecond-scale ops
+/// don't spin for the full measurement budget.
+const MAX_ITERS: u64 = 5_000_000;
+
+/// How per-sample setup cost relates to the measurement loop (API-compat
+/// only; the shim always times the routine alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; Criterion would batch many per sample.
+    SmallInput,
+    /// Large setup output; Criterion would batch few per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Work per iteration, used to report a rate next to the raw time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing-loop driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    cfg: &'a MeasureConfig,
+    report: Option<Sample>,
+}
+
+/// One finished measurement.
+struct Sample {
+    mean_ns: f64,
+    iters: u64,
+}
+
+#[derive(Clone)]
+struct MeasureConfig {
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Times `f`, called in a loop after a warmup phase.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: run until the warmup budget is spent, and use the
+        // observed cost to size the measurement loop.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.cfg.warm_up && warm_iters < MAX_ITERS {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let iters = ((self.cfg.measurement.as_nanos() as f64 / est_ns) as u64).clamp(1, MAX_ITERS);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mean_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        self.report = Some(Sample { mean_ns, iters });
+    }
+
+    /// Times `routine` over values produced by `setup`; setup cost is
+    /// excluded from the timing.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while warm_start.elapsed() < self.cfg.warm_up && warm_iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (spent.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let iters = ((self.cfg.measurement.as_nanos() as f64 / est_ns) as u64).clamp(1, MAX_ITERS);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.report = Some(Sample { mean_ns, iters });
+    }
+}
+
+/// The top-level harness object (`criterion_group!` passes one to each
+/// benchmark function).
+#[derive(Default)]
+pub struct Criterion {
+    cfg: MeasureConfig,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), cfg: self.cfg.clone(), _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &self.cfg, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(t);
+        self
+    }
+
+    /// API-compat: the shim sizes its loop by time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Sets the warmup budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), &self.cfg, f);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, cfg: &MeasureConfig, mut f: F) {
+    let mut b = Bencher { cfg, report: None };
+    f(&mut b);
+    match b.report {
+        Some(s) => {
+            let mut line =
+                format!("bench {id:<40} {:>12}/iter ({} iters)", fmt_ns(s.mean_ns), s.iters);
+            if let Some(tp) = cfg.throughput {
+                let (amount, unit) = match tp {
+                    Throughput::Elements(n) => (n as f64, "elem"),
+                    Throughput::Bytes(n) => (n as f64, "B"),
+                };
+                let rate = amount / (s.mean_ns / 1e9);
+                line.push_str(&format!("  {:.3e} {unit}/s", rate));
+            }
+            println!("{line}");
+        }
+        None => println!("bench {id:<40} (no measurement recorded)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring Criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running every group, mirroring Criterion's macro.
+/// Ignores Criterion CLI arguments (`--bench`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_sample() {
+        let cfg = MeasureConfig {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            throughput: None,
+        };
+        let mut b = Bencher { cfg: &cfg, report: None };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        let s = b.report.expect("sample recorded");
+        assert!(s.iters >= 1);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let cfg = MeasureConfig {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            throughput: None,
+        };
+        let mut b = Bencher { cfg: &cfg, report: None };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.report.is_some());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1))
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_ns(10.0).contains("ns"));
+        assert!(fmt_ns(10_000.0).contains("µs"));
+        assert!(fmt_ns(10_000_000.0).contains("ms"));
+        assert!(fmt_ns(10_000_000_000.0).contains(" s"));
+    }
+}

@@ -1,13 +1,16 @@
 //! `repro` — regenerate the I-SPY paper's tables and figures.
 //!
 //! ```text
-//! repro list                 # show available experiments
-//! repro fig10                # run one experiment at full scale
-//! repro fig10 fig11 --quick  # several experiments, reduced scale
-//! repro all --json out/      # everything, also writing JSON per figure
+//! repro list                      # show available experiments
+//! repro fig10                     # run one experiment at full scale
+//! repro fig10 fig11 --quick       # several experiments, reduced scale
+//! repro all --json out/           # everything, also writing JSON per figure
+//! repro all --jobs 8              # cap the worker pool at 8 threads
+//! repro fig17 --apps wordpress    # run on a subset of the applications
 //! ```
 
 use ispy_harness::{figures, Scale, Session};
+use ispy_trace::apps;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -21,6 +24,7 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::full();
     let mut json_dir: Option<PathBuf> = None;
+    let mut app_names: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,6 +36,31 @@ fn main() -> ExitCode {
                     Some(dir) => json_dir = Some(PathBuf::from(dir)),
                     None => {
                         eprintln!("--json needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => ispy_parallel::set_threads(n),
+                    _ => {
+                        eprintln!("--jobs needs a thread count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--apps" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => {
+                        app_names = Some(list.split(',').map(|s| s.trim().to_string()).collect())
+                    }
+                    None => {
+                        eprintln!(
+                            "--apps needs a comma-separated list; known: {}",
+                            apps::NAMES.join(",")
+                        );
                         return ExitCode::FAILURE;
                     }
                 }
@@ -54,15 +83,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let models = match &app_names {
+        None => apps::all(),
+        Some(names) => {
+            let mut models = Vec::new();
+            for name in names {
+                match apps::by_name(name) {
+                    Some(m) => models.push(m),
+                    None => {
+                        eprintln!("unknown app `{name}`; known: {}", apps::NAMES.join(","));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            models
+        }
+    };
 
     eprintln!(
-        "preparing {} applications (shrink={}, events={}) ...",
-        ispy_trace::apps::NAMES.len(),
+        "preparing {} applications (shrink={}, events={}, threads={}) ...",
+        models.len(),
         scale.shrink,
-        scale.events
+        scale.events,
+        ispy_parallel::threads(),
     );
     let t0 = Instant::now();
-    let session = Session::new(scale);
+    let session = Session::with_apps(scale, models);
     eprintln!("prepared in {:.1?}", t0.elapsed());
 
     if let Some(dir) = &json_dir {
@@ -75,11 +121,12 @@ fn main() -> ExitCode {
         let spec = figures::by_id(id).expect("validated above");
         let t = Instant::now();
         let table = (spec.run)(&session);
+        let secs = t.elapsed().as_secs_f64();
         println!("{table}");
-        eprintln!("[{id} took {:.1?}]\n", t.elapsed());
+        eprintln!("[{id} took {secs:.1}s]\n");
         if let Some(dir) = &json_dir {
             let path = dir.join(format!("{id}.json"));
-            if let Err(e) = std::fs::write(&path, table.to_json()) {
+            if let Err(e) = std::fs::write(&path, table.to_json_with_runtime(Some(secs))) {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
@@ -89,5 +136,6 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: repro <list|all|fig01|fig03|...|fig21|table1|walkthrough> [--quick] [--json DIR]");
+    eprintln!("usage: repro <list|all|fig01|fig03|...|fig21|table1|walkthrough>");
+    eprintln!("             [--quick | --test-scale] [--json DIR] [--jobs N] [--apps a,b,c]");
 }

@@ -8,24 +8,56 @@ fn main() {
     let t0 = Instant::now();
     let model = ispy_trace::apps::wordpress();
     let program = model.generate();
-    println!("gen {:?} blocks={} text={}KiB", t0.elapsed(), program.num_blocks(), program.text_bytes()/1024);
+    println!(
+        "gen {:?} blocks={} text={}KiB",
+        t0.elapsed(),
+        program.num_blocks(),
+        program.text_bytes() / 1024
+    );
     let t = Instant::now();
     let trace = program.record_trace(model.default_input(), 1_000_000);
     println!("trace {:?}", t.elapsed());
     let scfg = SimConfig::default();
     let t = Instant::now();
     let base = run(&program, &trace, &scfg, RunOptions::default());
-    println!("sim {:?} cycles={} mpki={:.1} fb={:.2}", t.elapsed(), base.cycles, base.mpki(), base.frontend_bound());
+    println!(
+        "sim {:?} cycles={} mpki={:.1} fb={:.2}",
+        t.elapsed(),
+        base.cycles,
+        base.mpki(),
+        base.frontend_bound()
+    );
     let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
     println!("ideal speedup over base: {:.3}", ideal.speedup_over(&base));
     let t = Instant::now();
     let prof = profile(&program, &trace, &scfg, SampleRate::EXACT);
-    println!("profile {:?} misses={} lines={}", t.elapsed(), prof.misses.total_misses(), prof.misses.num_lines());
+    println!(
+        "profile {:?} misses={} lines={}",
+        t.elapsed(),
+        prof.misses.total_misses(),
+        prof.misses.num_lines()
+    );
     let t = Instant::now();
     let plan = Planner::new(&program, &trace, &prof, IspyConfig::default()).plan();
-    println!("plan {:?} ops={} covered={}/{} ctx={} static={:.3} no_cand={} no_sites={} dropped={}", t.elapsed(), plan.stats.ops_total(), plan.stats.covered_lines, plan.stats.target_lines, plan.stats.contexts_adopted, plan.stats.static_increase, plan.stats.lines_no_candidates, plan.stats.lines_no_sites, plan.stats.entries_dropped);
+    println!(
+        "plan {:?} ops={} covered={}/{} ctx={} static={:.3} no_cand={} no_sites={} dropped={}",
+        t.elapsed(),
+        plan.stats.ops_total(),
+        plan.stats.covered_lines,
+        plan.stats.target_lines,
+        plan.stats.contexts_adopted,
+        plan.stats.static_increase,
+        plan.stats.lines_no_candidates,
+        plan.stats.lines_no_sites,
+        plan.stats.entries_dropped
+    );
     let t = Instant::now();
-    let ispy = run(&program, &trace, &scfg, RunOptions { injections: Some(&plan.injections), ..Default::default() });
+    let ispy = run(
+        &program,
+        &trace,
+        &scfg,
+        RunOptions { injections: Some(&plan.injections), ..Default::default() },
+    );
     println!("ispy sim {:?} speedup={:.3} (ideal {:.3}) frac_ideal={:.3} mpki_red={:.3} acc={:.3} dyn={:.3}",
         t.elapsed(), ispy.speedup_over(&base), ideal.speedup_over(&base),
         ispy.fraction_of_ideal(&base, &ideal), ispy.mpki_reduction_vs(&base), ispy.accuracy(), ispy.dynamic_increase());
@@ -37,43 +69,100 @@ fn main() {
         use ispy_trace::{BlockId, Line};
         use std::collections::HashMap;
         #[derive(Default)]
-        struct MissLines { by_line: HashMap<u64, u64> }
+        struct MissLines {
+            by_line: HashMap<u64, u64>,
+        }
         impl SimObserver for MissLines {
             fn icache_miss(&mut self, _i: usize, _b: BlockId, l: Line, _c: u64) {
                 *self.by_line.entry(l.raw()).or_insert(0) += 1;
             }
         }
         let mut obs = MissLines::default();
-        run(&program, &trace, &scfg, RunOptions { injections: Some(&plan.injections), observer: Some(&mut obs), ..Default::default() });
+        run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions {
+                injections: Some(&plan.injections),
+                observer: Some(&mut obs),
+                ..Default::default()
+            },
+        );
         // Planned target lines:
         let mut planned: std::collections::HashSet<u64> = Default::default();
-        for (_, ops) in plan.injections.iter() { for op in ops { for l in op.target_lines() { planned.insert(l.raw()); } } }
-        let (mut on_planned, mut off_planned) = (0u64, 0u64);
-        for (l, c) in &obs.by_line {
-            if planned.contains(l) { on_planned += c; } else { off_planned += c; }
-        }
-        println!("remaining misses: on planned lines={} on unplanned lines={}", on_planned, off_planned);
-        // miss count histogram of unplanned lines in original profile
-        let mut unplanned_profiled = 0u64; let mut unplanned_unprofiled = 0u64;
-        for (l, c) in &obs.by_line {
-            if !planned.contains(l) {
-                match prof.misses.line(Line::new(*l)) { Some(s) if s.count >= 2 => unplanned_profiled += c, _ => unplanned_unprofiled += c }
+        for (_, ops) in plan.injections.iter() {
+            for op in ops {
+                for l in op.target_lines() {
+                    planned.insert(l.raw());
+                }
             }
         }
-        println!("unplanned split: profiled(>=2 misses)={} cold/rare={}", unplanned_profiled, unplanned_unprofiled);
+        let (mut on_planned, mut off_planned) = (0u64, 0u64);
+        for (l, c) in &obs.by_line {
+            if planned.contains(l) {
+                on_planned += c;
+            } else {
+                off_planned += c;
+            }
+        }
+        println!(
+            "remaining misses: on planned lines={} on unplanned lines={}",
+            on_planned, off_planned
+        );
+        // miss count histogram of unplanned lines in original profile
+        let mut unplanned_profiled = 0u64;
+        let mut unplanned_unprofiled = 0u64;
+        for (l, c) in &obs.by_line {
+            if !planned.contains(l) {
+                match prof.misses.line(Line::new(*l)) {
+                    Some(s) if s.count >= 2 => unplanned_profiled += c,
+                    _ => unplanned_unprofiled += c,
+                }
+            }
+        }
+        println!(
+            "unplanned split: profiled(>=2 misses)={} cold/rare={}",
+            unplanned_profiled, unplanned_unprofiled
+        );
     }
-    for (mn,mx) in [(27u32,120u32),(40,200),(60,250)] {
-        let cfg2 = IspyConfig::default().with_distances(mn,mx);
+    for (mn, mx) in [(27u32, 120u32), (40, 200), (60, 250)] {
+        let cfg2 = IspyConfig::default().with_distances(mn, mx);
         let plan2 = Planner::new(&program, &trace, &prof, cfg2).plan();
-        let r2 = run(&program, &trace, &scfg, RunOptions { injections: Some(&plan2.injections), ..Default::default() });
-        println!("dist {}..{}: frac_ideal={:.3} mpki_red={:.3} acc={:.3} dyn={:.3} late={} evict={}",
-            mn, mx, r2.fraction_of_ideal(&base, &ideal), r2.mpki_reduction_vs(&base), r2.accuracy(), r2.dynamic_increase(), r2.pf_late, r2.pf_evicted_unused);
+        let r2 = run(
+            &program,
+            &trace,
+            &scfg,
+            RunOptions { injections: Some(&plan2.injections), ..Default::default() },
+        );
+        println!(
+            "dist {}..{}: frac_ideal={:.3} mpki_red={:.3} acc={:.3} dyn={:.3} late={} evict={}",
+            mn,
+            mx,
+            r2.fraction_of_ideal(&base, &ideal),
+            r2.mpki_reduction_vs(&base),
+            r2.accuracy(),
+            r2.dynamic_increase(),
+            r2.pf_late,
+            r2.pf_evicted_unused
+        );
     }
     let t = Instant::now();
     let aplan = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
-    let asmdb = run(&program, &trace, &scfg, RunOptions { injections: Some(&aplan.injections), ..Default::default() });
-    println!("asmdb {:?} speedup={:.3} frac_ideal={:.3} mpki_red={:.3} acc={:.3} dyn={:.3} static={:.3}",
-        t.elapsed(), asmdb.speedup_over(&base), asmdb.fraction_of_ideal(&base, &ideal),
-        asmdb.mpki_reduction_vs(&base), asmdb.accuracy(), asmdb.dynamic_increase(), aplan.stats.static_increase);
+    let asmdb = run(
+        &program,
+        &trace,
+        &scfg,
+        RunOptions { injections: Some(&aplan.injections), ..Default::default() },
+    );
+    println!(
+        "asmdb {:?} speedup={:.3} frac_ideal={:.3} mpki_red={:.3} acc={:.3} dyn={:.3} static={:.3}",
+        t.elapsed(),
+        asmdb.speedup_over(&base),
+        asmdb.fraction_of_ideal(&base, &ideal),
+        asmdb.mpki_reduction_vs(&base),
+        asmdb.accuracy(),
+        asmdb.dynamic_increase(),
+        aplan.stats.static_increase
+    );
 }
 // appended diagnostics

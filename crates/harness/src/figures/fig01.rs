@@ -11,6 +11,7 @@ pub fn run(session: &Session) -> Table {
         "Frontend-bound share of cycles (no prefetching)",
         &["app", "frontend-bound", "L1I MPKI"],
     );
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         t.row(vec![

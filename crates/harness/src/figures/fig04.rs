@@ -11,6 +11,7 @@ pub fn run(session: &Session) -> Table {
         "AsmDB static and dynamic code-footprint increase",
         &["app", "static increase", "dynamic increase"],
     );
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         t.row(vec![

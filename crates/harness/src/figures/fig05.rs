@@ -7,23 +7,29 @@ use ispy_sim::SimConfig;
 
 /// Regenerates Fig. 5: speedup over no-prefetching for the two 8-line-window
 /// prefetchers of §II-D.
+///
+/// The (mode × app) grid fans out across the thread pool; rows are
+/// assembled per app afterwards.
 pub fn run(session: &Session) -> Table {
     let mut t = Table::new(
         "fig05",
         "Speedup of Contiguous-8 vs Non-contiguous-8 over no prefetching",
         &["app", "contiguous-8", "non-contiguous-8"],
     );
-    let scfg = SimConfig::default();
+    session.comparisons();
+    let napps = session.apps().len();
+    const MODES: [SpatialMode; 2] = [SpatialMode::Contiguous, SpatialMode::NonContiguous];
+    let cells = ispy_parallel::par_collect(MODES.len() * napps, |j| {
+        let (mi, i) = (j / napps, j % napps);
+        let ctx = &session.apps()[i];
+        let c = session.comparison(i);
+        let plan = SpatialPlanner::new(&ctx.program, &ctx.profile, MODES[mi]).plan();
+        let r = ctx.simulate(&SimConfig::default(), Some(&plan.injections));
+        r.speedup_over(&c.baseline)
+    });
     let mut gains = Vec::new();
     for (i, ctx) in session.apps().iter().enumerate() {
-        let c = session.comparison(i);
-        let cont = SpatialPlanner::new(&ctx.program, &ctx.profile, SpatialMode::Contiguous).plan();
-        let nonc =
-            SpatialPlanner::new(&ctx.program, &ctx.profile, SpatialMode::NonContiguous).plan();
-        let rc = ctx.simulate(&scfg, Some(&cont.injections));
-        let rn = ctx.simulate(&scfg, Some(&nonc.injections));
-        let sc = rc.speedup_over(&c.baseline);
-        let sn = rn.speedup_over(&c.baseline);
+        let (sc, sn) = (cells[i], cells[napps + i]);
         gains.push(sn / sc);
         t.row(vec![ctx.name().to_string(), speedup(sc), speedup(sn)]);
     }

@@ -13,6 +13,7 @@ pub fn run(session: &Session) -> Table {
     );
     let mut fracs = Vec::new();
     let mut over_asmdb = Vec::new();
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         let frac = c.ispy.fraction_of_ideal(&c.baseline, &c.ideal);

@@ -12,6 +12,7 @@ pub fn run(session: &Session) -> Table {
         &["app", "baseline MPKI", "asmdb", "i-spy", "i-spy advantage"],
     );
     let mut adv = Vec::new();
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         let ra = c.asmdb.mpki_reduction_vs(&c.baseline);
@@ -26,7 +27,10 @@ pub fn run(session: &Session) -> Table {
         ]);
     }
     let mean = adv.iter().sum::<f64>() / adv.len().max(1) as f64;
-    t.note(format!("measured: I-SPY removes {} more of the misses than AsmDB on average", pct(mean)));
+    t.note(format!(
+        "measured: I-SPY removes {} more of the misses than AsmDB on average",
+        pct(mean)
+    ));
     t.note("paper: I-SPY reduces MPKI by 95.8% on average, 15.7% more than AsmDB (max 28.4% on verilator)");
     t
 }

@@ -6,20 +6,31 @@ use ispy_core::IspyConfig;
 
 /// Regenerates Fig. 12: speedup over AsmDB of conditional prefetching alone,
 /// prefetch coalescing alone, and the combined I-SPY.
+///
+/// The (technique × app) grid fans out across the thread pool; rows are
+/// assembled per app afterwards, so the table is identical at any thread
+/// count. Both variants reuse the app's cached planner baseline.
 pub fn run(session: &Session) -> Table {
     let mut t = Table::new(
         "fig12",
         "Speedup over AsmDB by technique",
         &["app", "conditional only", "coalescing only", "combined"],
     );
+    session.comparisons();
+    let napps = session.apps().len();
+    let variants = [IspyConfig::conditional_only(), IspyConfig::coalescing_only()];
+    let cells = ispy_parallel::par_collect(variants.len() * napps, |j| {
+        let (vi, i) = (j / napps, j % napps);
+        let c = session.comparison(i);
+        let (_, r) = session.run_ispy_variant(i, variants[vi].clone());
+        r.speedup_over(&c.asmdb)
+    });
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
-        let (_, cond) = session.run_ispy_variant(i, IspyConfig::conditional_only());
-        let (_, coal) = session.run_ispy_variant(i, IspyConfig::coalescing_only());
         t.row(vec![
             ctx.name().to_string(),
-            speedup(cond.speedup_over(&c.asmdb)),
-            speedup(coal.speedup_over(&c.asmdb)),
+            speedup(cells[i]),
+            speedup(cells[napps + i]),
             speedup(c.ispy.speedup_over(&c.asmdb)),
         ]);
     }

@@ -6,12 +6,9 @@ use crate::session::Session;
 /// Regenerates Fig. 13: fraction of issued prefetch lines that were used
 /// before eviction, AsmDB vs I-SPY.
 pub fn run(session: &Session) -> Table {
-    let mut t = Table::new(
-        "fig13",
-        "Prefetch accuracy",
-        &["app", "asmdb", "i-spy", "delta"],
-    );
+    let mut t = Table::new("fig13", "Prefetch accuracy", &["app", "asmdb", "i-spy", "delta"]);
     let mut deltas = Vec::new();
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         let d = c.ispy.accuracy() - c.asmdb.accuracy();

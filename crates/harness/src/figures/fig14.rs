@@ -11,6 +11,7 @@ pub fn run(session: &Session) -> Table {
         "Static code-footprint increase",
         &["app", "asmdb", "i-spy", "i-spy ops (C/L/CL/plain)"],
     );
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         let s = &c.ispy_plan.stats;

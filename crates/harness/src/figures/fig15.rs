@@ -6,11 +6,8 @@ use crate::session::Session;
 /// Regenerates Fig. 15: injected prefetch instructions executed, relative to
 /// the original dynamic instruction count.
 pub fn run(session: &Session) -> Table {
-    let mut t = Table::new(
-        "fig15",
-        "Dynamic instruction increase",
-        &["app", "asmdb", "i-spy"],
-    );
+    let mut t = Table::new("fig15", "Dynamic instruction increase", &["app", "asmdb", "i-spy"]);
+    session.comparisons(); // prime the cache one app per pool thread
     for (i, ctx) in session.apps().iter().enumerate() {
         let c = session.comparison(i);
         t.row(vec![

@@ -9,23 +9,29 @@ pub const BITS: [u8; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Regenerates Fig. 19: mean fraction of ideal achieved by prefetch
 /// coalescing as the bitmask grows.
+///
+/// The (width × app) grid fans out across the thread pool; rows stay in
+/// sweep order. All widths share each app's cached window candidates (the
+/// mask width only changes how lines pack into ops).
 pub fn run(session: &Session) -> Table {
     let mut t = Table::new(
         "fig19",
         "Prefetch coalescing vs bitmask size",
         &["mask bits", "mean % of ideal", "injected ops"],
     );
-    for bits in BITS {
-        let mut fracs = Vec::new();
-        let mut ops = 0usize;
-        for i in 0..session.apps().len() {
-            let c = session.comparison(i);
-            let (plan, r) =
-                session.run_ispy_variant(i, IspyConfig::coalescing_only().with_coalesce_bits(bits));
-            fracs.push(r.fraction_of_ideal(&c.baseline, &c.ideal));
-            ops += plan.stats.ops_total();
-        }
-        let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+    session.comparisons();
+    let napps = session.apps().len();
+    let cells = ispy_parallel::par_collect(BITS.len() * napps, |j| {
+        let (si, i) = (j / napps, j % napps);
+        let c = session.comparison(i);
+        let (plan, r) =
+            session.run_ispy_variant(i, IspyConfig::coalescing_only().with_coalesce_bits(BITS[si]));
+        (r.fraction_of_ideal(&c.baseline, &c.ideal), plan.stats.ops_total())
+    });
+    for (si, bits) in BITS.iter().enumerate() {
+        let row = &cells[si * napps..(si + 1) * napps];
+        let mean = row.iter().map(|(f, _)| f).sum::<f64>() / row.len().max(1) as f64;
+        let ops: usize = row.iter().map(|(_, o)| o).sum();
         t.row(vec![bits.to_string(), pct(mean), ops.to_string()]);
     }
     t.note("paper: larger masks help slightly (fewer spurious evictions) but cost hardware;");

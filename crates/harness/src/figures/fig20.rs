@@ -7,8 +7,9 @@ use crate::session::Session;
 /// and of lines per coalesced prefetch (right), aggregated over all apps'
 /// I-SPY plans.
 pub fn run(session: &Session) -> Table {
-    let mut dist = vec![0u64; 8];
-    let mut lines = vec![0u64; 9];
+    let mut dist = [0u64; 8];
+    let mut lines = [0u64; 9];
+    session.comparisons(); // prime the cache one app per pool thread
     for i in 0..session.apps().len() {
         let c = session.comparison(i);
         for (d, &n) in c.ispy_plan.stats.coalesced_distance_hist.iter().enumerate() {

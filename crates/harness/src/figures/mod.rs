@@ -81,11 +81,7 @@ pub fn all() -> Vec<FigureSpec> {
             about: "generalization across application inputs",
             run: fig16::run,
         },
-        FigureSpec {
-            id: "fig17",
-            about: "sensitivity: predecessors per context",
-            run: fig17::run,
-        },
+        FigureSpec { id: "fig17", about: "sensitivity: predecessors per context", run: fig17::run },
         FigureSpec {
             id: "fig18",
             about: "sensitivity: min/max prefetch distance",

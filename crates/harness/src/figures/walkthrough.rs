@@ -14,15 +14,13 @@ use ispy_trace::{Addr, BlockId, Line};
 /// fire exactly when B and E are in the LBR; coalescing must merge the
 /// Fig. 8 targets.
 pub fn run(_session: &Session) -> Table {
-    let mut t = Table::new("walkthrough", "Paper worked example (Figs. 2/6/7/8)", &["step", "result"]);
+    let mut t =
+        Table::new("walkthrough", "Paper worked example (Figs. 2/6/7/8)", &["step", "result"]);
 
     // -- Fig. 6: context discovery over the six paths. ----------------------
     // Candidates: B (bit 0), E (bit 1). Two paths have both B and E and lead
     // to the miss; one has only B, one only E, two have neither.
-    let counts = JointCounts {
-        occurrences: vec![2, 1, 1, 2],
-        hits: vec![0, 0, 0, 2],
-    };
+    let counts = JointCounts { occurrences: vec![2, 1, 1, 2], hits: vec![0, 0, 0, 2] };
     let b = BlockId(1);
     let e = BlockId(4);
     let ctx = discover(&counts, &[b, e], 4, 1, 0.05).expect("the paper's context exists");
@@ -58,12 +56,8 @@ pub fn run(_session: &Session) -> Table {
     ]);
 
     // -- Fig. 8: coalescing 0x2/0x4/0x7 under one context. -------------------
-    let mask = CoalesceMask::from_lines(
-        Line::new(0x2),
-        [Line::new(0x4), Line::new(0x7)],
-        8,
-    )
-    .expect("the Fig. 8 lines are within the window");
+    let mask = CoalesceMask::from_lines(Line::new(0x2), [Line::new(0x4), Line::new(0x7)], 8)
+        .expect("the Fig. 8 lines are within the window");
     let cl = PrefetchOp::CondCoalesced { base: Line::new(0x2), mask, ctx: ctx_hash };
     t.row(vec![
         "Fig. 8 coalescing".into(),

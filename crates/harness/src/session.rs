@@ -2,12 +2,11 @@
 
 use ispy_baselines::asmdb::{AsmDbConfig, AsmDbPlanner};
 use ispy_core::planner::Plan;
-use ispy_core::{IspyConfig, Planner};
+use ispy_core::{IspyConfig, Planner, PlannerBaseline};
 use ispy_profile::{profile, Profile, SampleRate};
 use ispy_sim::{run, RunOptions, SimConfig, SimResult};
 use ispy_trace::{apps, AppModel, InputSpec, Program, Trace};
-use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// How big the experiments are.
 ///
@@ -111,10 +110,18 @@ pub struct Comparison {
 }
 
 /// A prepared set of applications plus result caches.
+///
+/// Thread-safe: figure drivers fan their (app × config-point) grids out
+/// across the [`ispy_parallel`] pool, so every cache here is a per-app
+/// [`OnceLock`] slot (comparisons) or an internally-locked
+/// [`PlannerBaseline`] (trace-scan reuse for sensitivity sweeps). The
+/// expensive four-way [`Comparison`] is computed at most once per app and
+/// shared as an [`Arc`] without cloning the multi-megabyte plans.
 pub struct Session {
     scale: Scale,
     apps: Vec<AppContext>,
-    comparisons: RefCell<BTreeMap<usize, Comparison>>,
+    comparisons: Vec<OnceLock<Arc<Comparison>>>,
+    baselines: Vec<PlannerBaseline>,
 }
 
 impl Session {
@@ -123,11 +130,19 @@ impl Session {
         Self::with_apps(scale, apps::all())
     }
 
-    /// Prepares a chosen subset of applications (used by tests and by
-    /// figures that only need some apps).
+    /// Prepares a chosen subset of applications (used by tests, by `repro
+    /// --apps`, and by figures that only need some apps). Preparation
+    /// (model generation + trace recording + profiling) runs one app per
+    /// pool thread.
     pub fn with_apps(scale: Scale, models: Vec<AppModel>) -> Self {
-        let apps = models.into_iter().map(|m| AppContext::prepare(m, scale)).collect();
-        Session { scale, apps, comparisons: RefCell::new(BTreeMap::new()) }
+        let apps = ispy_parallel::par_map_vec(models, |m| AppContext::prepare(m, scale));
+        let n = apps.len();
+        Session {
+            scale,
+            apps,
+            comparisons: (0..n).map(|_| OnceLock::new()).collect(),
+            baselines: (0..n).map(|_| PlannerBaseline::new()).collect(),
+        }
     }
 
     /// The session's scale.
@@ -146,31 +161,50 @@ impl Session {
     }
 
     /// The four-way comparison for app `i`, computed once and cached.
-    pub fn comparison(&self, i: usize) -> Comparison {
-        if let Some(c) = self.comparisons.borrow().get(&i) {
-            return c.clone();
-        }
+    ///
+    /// Returns a shared handle — callers never pay for cloning the
+    /// `SimResult`s or multi-megabyte `Plan`s. Concurrent first calls for
+    /// the same app block on one computation (the `OnceLock` guarantee).
+    pub fn comparison(&self, i: usize) -> Arc<Comparison> {
+        Arc::clone(self.comparisons[i].get_or_init(|| Arc::new(self.compute_comparison(i))))
+    }
+
+    /// All apps' comparisons, computed in parallel (one app per pool
+    /// thread) and returned in app order. Figures that only read cached
+    /// comparisons call this once instead of serially faulting each app in.
+    pub fn comparisons(&self) -> Vec<Arc<Comparison>> {
+        ispy_parallel::par_collect(self.apps.len(), |i| self.comparison(i))
+    }
+
+    fn compute_comparison(&self, i: usize) -> Comparison {
         let ctx = &self.apps[i];
         let scfg = SimConfig::default();
         let baseline = ctx.simulate(&scfg, None);
         let ideal = ctx.simulate(&SimConfig::ideal(), None);
-        let asmdb_plan = AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
+        let asmdb_plan =
+            AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
         let asmdb = ctx.simulate(&scfg, Some(&asmdb_plan.injections));
-        let ispy_plan =
-            Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default()).plan();
+        let ispy_plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
+            .plan_with_baseline(&self.baselines[i]);
         let ispy = ctx.simulate(&scfg, Some(&ispy_plan.injections));
-        let c = Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan };
-        self.comparisons.borrow_mut().insert(i, c.clone());
-        c
+        Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan }
     }
 
     /// Plans and runs an I-SPY configuration variant for app `i` (used by
-    /// the ablation and sensitivity figures). Not cached.
+    /// the ablation and sensitivity figures). The plan reuses the app's
+    /// [`PlannerBaseline`], so a sweep's config points share one set of
+    /// trace scans; the simulation itself is per-variant.
     pub fn run_ispy_variant(&self, i: usize, cfg: IspyConfig) -> (Plan, SimResult) {
         let ctx = &self.apps[i];
-        let plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, cfg).plan();
+        let plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, cfg)
+            .plan_with_baseline(&self.baselines[i]);
         let result = ctx.simulate(&SimConfig::default(), Some(&plan.injections));
         (plan, result)
+    }
+
+    /// The planner baseline (shared trace-scan caches) for app `i`.
+    pub fn planner_baseline(&self, i: usize) -> &PlannerBaseline {
+        &self.baselines[i]
     }
 }
 
@@ -198,6 +232,8 @@ mod tests {
         let s = tiny_session();
         let c1 = s.comparison(0);
         let c2 = s.comparison(0);
+        // The cache hands out the same allocation, not a clone.
+        assert!(Arc::ptr_eq(&c1, &c2));
         assert_eq!(c1.baseline, c2.baseline);
         // Sanity ordering: ideal <= ispy/asmdb <= baseline (cycles).
         assert!(c1.ideal.cycles <= c1.ispy.cycles);
@@ -211,5 +247,31 @@ mod tests {
         let ctx = &s.apps()[0];
         let r = ctx.simulate_variant(1, 10_000, &SimConfig::default(), None);
         assert_eq!(r.blocks, 10_000);
+    }
+
+    #[test]
+    fn concurrent_comparisons_fill_each_slot_once() {
+        let s = Session::with_apps(Scale::test(), vec![apps::cassandra(), apps::kafka()]);
+        let all: Vec<Vec<Arc<Comparison>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| s.comparisons())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        for run in &all {
+            assert_eq!(run.len(), 2);
+            for (i, c) in run.iter().enumerate() {
+                // Every thread observed the single cached allocation.
+                assert!(Arc::ptr_eq(c, &all[0][i]));
+            }
+        }
+    }
+
+    #[test]
+    fn variant_planning_reuses_baseline_deterministically() {
+        let s = tiny_session();
+        let cfg = IspyConfig::conditional_only().with_ctx_size(2);
+        let (p1, r1) = s.run_ispy_variant(0, cfg.clone());
+        let (p2, r2) = s.run_ispy_variant(0, cfg);
+        assert_eq!(p1.injections, p2.injections);
+        assert_eq!(r1, r2);
     }
 }

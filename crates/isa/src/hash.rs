@@ -78,7 +78,7 @@ pub fn fnv1_addr(addr: u64) -> u64 {
 
 /// MurmurHash3 of a little-endian `u64` — the form used for block addresses.
 pub fn murmur3_addr(addr: u64) -> u32 {
-    murmur3_32(&addr.to_le_bytes(), 0x1_5b7 as u32)
+    murmur3_32(&addr.to_le_bytes(), 0x1_5b7_u32)
 }
 
 #[cfg(test)]
@@ -96,7 +96,10 @@ mod tests {
     fn murmur3_known_vectors() {
         assert_eq!(murmur3_32(b"test", 0), 0xba6bd213);
         assert_eq!(murmur3_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c),
+            0x2FA826CD
+        );
     }
 
     #[test]

@@ -65,11 +65,7 @@ impl InjectionMap {
 
     /// Total bytes added to the text segment (static code footprint delta).
     pub fn injected_bytes(&self) -> u64 {
-        self.per_block
-            .values()
-            .flatten()
-            .map(|op| u64::from(op.encoded_bytes()))
-            .sum()
+        self.per_block.values().flatten().map(|op| u64::from(op.encoded_bytes())).sum()
     }
 
     /// Static footprint increase relative to a text segment of `text_bytes`.

@@ -174,8 +174,7 @@ impl PrefetchOp {
     pub fn target_lines(&self) -> Vec<Line> {
         match self {
             PrefetchOp::Plain { target } | PrefetchOp::Cond { target, .. } => vec![*target],
-            PrefetchOp::Coalesced { base, mask }
-            | PrefetchOp::CondCoalesced { base, mask, .. } => {
+            PrefetchOp::Coalesced { base, mask } | PrefetchOp::CondCoalesced { base, mask, .. } => {
                 let mut v = Vec::with_capacity(1 + mask.extra_lines() as usize);
                 v.push(*base);
                 v.extend(mask.decode(*base));
@@ -219,10 +218,8 @@ mod tests {
     #[test]
     fn paper_encoding_sizes() {
         // §III-B: prefetcht* is 7 bytes; Lprefetch with an 8-bit mask is 8.
-        let l = PrefetchOp::Coalesced {
-            base: Line::new(1),
-            mask: CoalesceMask::from_bits(0b101, 8),
-        };
+        let l =
+            PrefetchOp::Coalesced { base: Line::new(1), mask: CoalesceMask::from_bits(0b101, 8) };
         assert_eq!(l.encoded_bytes(), 8);
         let p = PrefetchOp::Plain { target: Line::new(1) };
         assert_eq!(p.encoded_bytes(), 7);
@@ -258,10 +255,8 @@ mod tests {
 
     #[test]
     fn target_lines_include_base_first() {
-        let op = PrefetchOp::Coalesced {
-            base: Line::new(10),
-            mask: CoalesceMask::from_bits(0b11, 8),
-        };
+        let op =
+            PrefetchOp::Coalesced { base: Line::new(10), mask: CoalesceMask::from_bits(0b11, 8) };
         assert_eq!(op.target_lines(), vec![Line::new(10), Line::new(11), Line::new(12)]);
     }
 
@@ -278,10 +273,7 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(PrefetchOp::Plain { target: Line::new(0) }.mnemonic(), "prefetch");
-        assert_eq!(
-            PrefetchOp::Cond { target: Line::new(0), ctx: ctx16() }.mnemonic(),
-            "Cprefetch"
-        );
+        assert_eq!(PrefetchOp::Cond { target: Line::new(0), ctx: ctx16() }.mnemonic(), "Cprefetch");
     }
 
     #[test]

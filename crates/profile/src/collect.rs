@@ -139,12 +139,7 @@ impl SimObserver for Collector {
 /// let prof = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
 /// assert_eq!(prof.trace_len, 10_000);
 /// ```
-pub fn profile(
-    program: &Program,
-    trace: &Trace,
-    sim_cfg: &SimConfig,
-    rate: SampleRate,
-) -> Profile {
+pub fn profile(program: &Program, trace: &Trace, sim_cfg: &SimConfig, rate: SampleRate) -> Profile {
     let mut collector = Collector::new(program.num_blocks(), sim_cfg.lbr_depth, rate);
     run(
         program,
@@ -173,8 +168,7 @@ pub fn profile(
     );
     // Close the last block's cycle interval with the final cycle count.
     if let Some((last, entered)) = cycles_collector.prev {
-        cycles_collector.cycles_sum[last.index()] +=
-            ideal_result.cycles.saturating_sub(entered);
+        cycles_collector.cycles_sum[last.index()] += ideal_result.cycles.saturating_sub(entered);
     }
     let avg_cycles: Vec<f64> = cycles_collector
         .exec
@@ -218,10 +212,9 @@ mod tests {
     #[test]
     fn edges_sum_to_events_minus_one() {
         let (_, trace, p) = prof();
-        let edge_total: u64 =
-            (0..p.cfg.num_blocks()).map(|i| {
-                p.cfg.succs(BlockId(i as u32)).iter().map(|&(_, w)| w).sum::<u64>()
-            }).sum();
+        let edge_total: u64 = (0..p.cfg.num_blocks())
+            .map(|i| p.cfg.succs(BlockId(i as u32)).iter().map(|&(_, w)| w).sum::<u64>())
+            .sum();
         assert_eq!(edge_total, trace.len() as u64 - 1);
     }
 
@@ -249,10 +242,7 @@ mod tests {
         let mut live = 0;
         for b in p.cfg.live_blocks() {
             live += 1;
-            assert!(
-                p.cfg.avg_cycles(b) >= 0.0,
-                "avg cycles must be non-negative for {b}"
-            );
+            assert!(p.cfg.avg_cycles(b) >= 0.0, "avg cycles must be non-negative for {b}");
         }
         assert!(live > 100);
         // At least some blocks have a measurable cost.
@@ -265,7 +255,7 @@ mod tests {
         let (_, _, p) = prof();
         for (_, stats) in p.misses.iter() {
             // Presence counts cannot exceed the sample count.
-            for (_, &c) in &stats.history_presence {
+            for &c in stats.history_presence.values() {
                 assert!(c <= stats.count);
             }
         }

@@ -73,20 +73,13 @@ impl DynCfg {
         if total == 0 {
             return 0.0;
         }
-        let w = self.succs[from.index()]
-            .iter()
-            .find(|&&(b, _)| b == to)
-            .map_or(0, |&(_, w)| w);
+        let w = self.succs[from.index()].iter().find(|&&(b, _)| b == to).map_or(0, |&(_, w)| w);
         w as f64 / total as f64
     }
 
     /// Blocks that were executed at least once.
     pub fn live_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.exec
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(i, _)| BlockId(i as u32))
+        self.exec.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, _)| BlockId(i as u32))
     }
 
     /// Renders the subgraph around `center` (its predecessors up to `depth`)

@@ -94,11 +94,7 @@ impl JointCounts {
 
     fn superset_sum(&self, arr: &[u64], subset: u16) -> u64 {
         let subset = subset as usize;
-        arr.iter()
-            .enumerate()
-            .filter(|&(mask, _)| mask & subset == subset)
-            .map(|(_, &c)| c)
-            .sum()
+        arr.iter().enumerate().filter(|&(mask, _)| mask & subset == subset).map(|(_, &c)| c).sum()
     }
 }
 

@@ -258,12 +258,7 @@ pub fn run(
 }
 
 /// Invokes the hardware prefetcher, if any, collecting its requests.
-fn hw_prefetch_hook(
-    opts: &mut RunOptions<'_>,
-    hw_out: &mut Vec<Line>,
-    line: Line,
-    was_miss: bool,
-) {
+fn hw_prefetch_hook(opts: &mut RunOptions<'_>, hw_out: &mut Vec<Line>, line: Line, was_miss: bool) {
     if let Some(hw) = opts.hw_prefetcher.as_deref_mut() {
         hw.on_fetch(line, was_miss, hw_out);
     }
@@ -322,7 +317,7 @@ fn mix(a: u64, b: u64) -> u64 {
 mod tests {
     use super::*;
     use ispy_isa::PrefetchOp;
-    use ispy_trace::{apps, InputSpec};
+    use ispy_trace::apps;
 
     fn small_app() -> (Program, Trace) {
         let model = apps::cassandra().scaled_down(30);
@@ -458,10 +453,12 @@ mod tests {
         let (p, t) = small_app();
         let mut map = InjectionMap::new();
         map.push(t.blocks()[0], PrefetchOp::Plain { target: Line::new(1) });
-        let r = run(&p, &t, &SimConfig::default(), RunOptions {
-            injections: Some(&map),
-            ..Default::default()
-        });
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
         assert_eq!(r.instrs, r.base_instrs + r.pf_ops_executed);
         assert!(r.dynamic_increase() > 0.0);
     }
@@ -476,10 +473,12 @@ mod tests {
         for (i, b) in hot.into_iter().enumerate() {
             map.push(b, PrefetchOp::Plain { target: Line::new(0xBAD_0000 + i as u64 * 7) });
         }
-        let with = run(&p, &t, &SimConfig::default(), RunOptions {
-            injections: Some(&map),
-            ..Default::default()
-        });
+        let with = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
         assert!(with.cycles >= base.cycles, "{} < {}", with.cycles, base.cycles);
         assert_eq!(with.pf_useful, 0);
     }
@@ -490,10 +489,12 @@ mod tests {
         let mut map = InjectionMap::new();
         let mask = ispy_isa::CoalesceMask::from_bits(0xFF, 8);
         map.push(t.blocks()[0], PrefetchOp::Coalesced { base: Line::new(0x700000), mask });
-        let r = run(&p, &t, &SimConfig::default(), RunOptions {
-            injections: Some(&map),
-            ..Default::default()
-        });
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
         // Base + 8 extra lines, issued at least once (the first execution).
         assert!(r.pf_lines_issued >= 9);
     }
@@ -511,10 +512,12 @@ mod tests {
         let (p, t) = small_app();
         let base = run(&p, &t, &SimConfig::default(), RunOptions::default());
         let mut hw = NextLine;
-        let r = run(&p, &t, &SimConfig::default(), RunOptions {
-            hw_prefetcher: Some(&mut hw),
-            ..Default::default()
-        });
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { hw_prefetcher: Some(&mut hw), ..Default::default() },
+        );
         assert!(r.pf_lines_issued > 0);
         assert!(r.i_misses < base.i_misses, "next-line should help sequential code");
     }
@@ -536,8 +539,7 @@ mod tests {
         ];
         let funcs = vec![Function::new(BlockId(0), 0, 2)];
         let owner = vec![FuncId(0), FuncId(0)];
-        let program =
-            Program::new("loop", blocks, exits, funcs, owner, vec![vec![FuncId(0)]]);
+        let program = Program::new("loop", blocks, exits, funcs, owner, vec![vec![FuncId(0)]]);
         let trace = program.record_trace(ispy_trace::InputSpec::uniform(0, 1), 4_000);
         let cfg = SimConfig::default();
         // Thrash block 1's line out of L1I? In this tiny program it stays
@@ -548,10 +550,12 @@ mod tests {
         let base = run(&program, &trace, &cfg, RunOptions::default());
         let mut map = InjectionMap::new();
         map.push(BlockId(0), PrefetchOp::Plain { target: Line::new((1 << 20) / 64) });
-        let with = run(&program, &trace, &cfg, RunOptions {
-            injections: Some(&map),
-            ..Default::default()
-        });
+        let with = run(
+            &program,
+            &trace,
+            &cfg,
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
         assert!(with.i_stall_cycles <= base.i_stall_cycles);
         assert!(with.pf_lines_resident > 0, "steady-state firings find the line resident");
     }
@@ -572,10 +576,7 @@ mod tests {
             BasicBlock::new(Addr::new(0), 32, 4, 0),
             BasicBlock::new(Addr::new(1 << 21), 32, 8, 0),
         ];
-        let exits = vec![
-            BlockExit::Branch(vec![(BlockId(1), 1.0)]),
-            BlockExit::Return,
-        ];
+        let exits = vec![BlockExit::Branch(vec![(BlockId(1), 1.0)]), BlockExit::Return];
         let funcs = vec![Function::new(BlockId(0), 0, 2)];
         let owner = vec![FuncId(0), FuncId(0)];
         let program = Program::new("late", blocks, exits, funcs, owner, vec![vec![FuncId(0)]]);
@@ -584,10 +585,12 @@ mod tests {
         map.push(BlockId(0), PrefetchOp::Plain { target: target_line });
         let cfg = SimConfig::default();
         let base = run(&program, &trace, &cfg, RunOptions::default());
-        let with = run(&program, &trace, &cfg, RunOptions {
-            injections: Some(&map),
-            ..Default::default()
-        });
+        let with = run(
+            &program,
+            &trace,
+            &cfg,
+            RunOptions { injections: Some(&map), ..Default::default() },
+        );
         assert_eq!(with.pf_late, 1, "demand must catch the prefetch in flight");
         assert_eq!(with.i_misses, base.i_misses, "late prefetch still counts as a miss");
         assert!(

@@ -200,7 +200,7 @@ impl<'p> Walker<'p> {
             // this request exercises (~3/4 of them), so one request type
             // spans several distinct but individually predictable paths.
             let step_mode = mix(r as u64 + 1, mix(k as u64, v));
-            if path.len() > 4 && step_mode % 4 == 0 {
+            if path.len() > 4 && step_mode.is_multiple_of(4) {
                 continue;
             }
             self.pending.push((f, step_mode));
@@ -233,8 +233,8 @@ impl<'p> Walker<'p> {
                     0
                 } else {
                     let has_back_edge = targets.iter().any(|(t, _)| t.0 <= block.0);
-                    let deterministic = !has_back_edge
-                        && self.rng.chance(self.program.branch_determinism());
+                    let deterministic =
+                        !has_back_edge && self.rng.chance(self.program.branch_determinism());
                     if deterministic {
                         // The calling context decides the path: derive the
                         // "random" sample from (mode, block) so the same
@@ -349,10 +349,8 @@ mod tests {
         // program under both settings.
         use crate::gen::{generate, GenParams};
         let mk = |det: f64| {
-            let mut p = generate(
-                "d",
-                &GenParams { funcs: 60, request_types: 2, ..GenParams::default() },
-            );
+            let mut p =
+                generate("d", &GenParams { funcs: 60, request_types: 2, ..GenParams::default() });
             p.set_branch_determinism(det);
             p.record_trace(InputSpec::uniform(3, 2), 20_000)
         };
@@ -407,11 +405,21 @@ mod tests {
         // Function i = single block i; block i calls function (i+1) % n with
         // ret = itself -> infinite call chain without the cap.
         let exits: Vec<BlockExit> = (0..n)
-            .map(|i| BlockExit::Call { callee: crate::program::FuncId((i + 1) % n), ret: BlockId(i) })
+            .map(|i| BlockExit::Call {
+                callee: crate::program::FuncId((i + 1) % n),
+                ret: BlockId(i),
+            })
             .collect();
         let funcs: Vec<Function> = (0..n).map(|i| Function::new(BlockId(i), i, 1)).collect();
         let owner = (0..n).map(crate::program::FuncId).collect();
-        let p = Program::new("deep", blocks, exits, funcs, owner, vec![vec![crate::program::FuncId(0)]]);
+        let p = Program::new(
+            "deep",
+            blocks,
+            exits,
+            funcs,
+            owner,
+            vec![vec![crate::program::FuncId(0)]],
+        );
         // Must terminate and produce events.
         let t = p.record_trace(InputSpec::uniform(1, 1), 1_000);
         assert_eq!(t.len(), 1_000);

@@ -181,9 +181,9 @@ pub fn generate(name: &str, params: &GenParams) -> Program {
         .map(|&(f, i)| {
             let fb = first_block[f];
             match &protos[f].exits[i] {
-                ProtoExit::Branch(ts) => BlockExit::Branch(
-                    ts.iter().map(|&(t, w)| (BlockId(fb + t), w)).collect(),
-                ),
+                ProtoExit::Branch(ts) => {
+                    BlockExit::Branch(ts.iter().map(|&(t, w)| (BlockId(fb + t), w)).collect())
+                }
                 ProtoExit::Call { callee, ret } => {
                     BlockExit::Call { callee: *callee, ret: BlockId(fb + ret) }
                 }
@@ -214,8 +214,7 @@ pub fn generate(name: &str, params: &GenParams) -> Program {
         request_paths.push(path);
     }
 
-    let mut program =
-        Program::new(name, blocks, exits, funcs, owner, request_paths);
+    let mut program = Program::new(name, blocks, exits, funcs, owner, request_paths);
     program.set_data_footprint_lines(params.data_footprint_lines);
     program.set_branch_determinism(params.branch_determinism);
     program.set_request_variants(params.request_variants);
@@ -336,7 +335,8 @@ mod tests {
     #[test]
     fn footprint_scales_with_funcs() {
         let small_p = generate("s", &small());
-        let big_p = generate("b", &GenParams { funcs: 240, request_types: 4, ..GenParams::default() });
+        let big_p =
+            generate("b", &GenParams { funcs: 240, request_types: 4, ..GenParams::default() });
         assert!(big_p.text_bytes() > small_p.text_bytes() * 2);
     }
 
@@ -352,8 +352,7 @@ mod tests {
     #[test]
     fn layout_shuffle_zero_keeps_request_grouping_tight() {
         let grouped = generate("g", &GenParams { layout_shuffle: 0.0, ..small() });
-        let shuffled =
-            generate("s", &GenParams { layout_shuffle: 1.0, seed: 0, ..small() });
+        let shuffled = generate("s", &GenParams { layout_shuffle: 1.0, seed: 0, ..small() });
         // With call-order layout, consecutive functions of the same request
         // type sit adjacent: measure mean |addr gap| between consecutive
         // executions is hard statically, so instead check both validate and

@@ -322,16 +322,25 @@ impl Program {
                     }
                     for &(t, _) in targets {
                         if t.0 >= n {
-                            return Err(ValidateProgramError::BlockOutOfRange { from, target: t.0 });
+                            return Err(ValidateProgramError::BlockOutOfRange {
+                                from,
+                                target: t.0,
+                            });
                         }
                         if self.owner[t.index()] != my_func {
-                            return Err(ValidateProgramError::CrossFunctionEdge { from, target: t });
+                            return Err(ValidateProgramError::CrossFunctionEdge {
+                                from,
+                                target: t,
+                            });
                         }
                     }
                 }
                 BlockExit::Call { callee, ret } => {
                     if callee.0 as usize >= self.funcs.len() {
-                        return Err(ValidateProgramError::FuncOutOfRange { from, callee: callee.0 });
+                        return Err(ValidateProgramError::FuncOutOfRange {
+                            from,
+                            callee: callee.0,
+                        });
                     }
                     if ret.0 >= n {
                         return Err(ValidateProgramError::BlockOutOfRange { from, target: ret.0 });
@@ -453,7 +462,10 @@ mod tests {
     fn bad_call_detected() {
         let mut p = tiny_program();
         p.exits[1] = BlockExit::Call { callee: FuncId(9), ret: BlockId(2) };
-        assert!(matches!(p.validate(), Err(ValidateProgramError::FuncOutOfRange { callee: 9, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::FuncOutOfRange { callee: 9, .. })
+        ));
     }
 
     #[test]

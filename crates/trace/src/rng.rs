@@ -281,7 +281,7 @@ mod tests {
     fn zipf_is_skewed() {
         let zipf = Zipf::new(50, 1.2);
         let mut rng = Pcg32::seed_from_u64(3);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..20_000 {
             counts[zipf.sample(&mut rng)] += 1;
         }

@@ -18,7 +18,11 @@ fn main() {
     let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
     let base = run(&program, &trace, &sim_cfg, RunOptions::default());
 
-    println!("verilator: {} misses over {} lines\n", prof.misses.total_misses(), prof.misses.num_lines());
+    println!(
+        "verilator: {} misses over {} lines\n",
+        prof.misses.total_misses(),
+        prof.misses.num_lines()
+    );
     println!(
         "{:>9} {:>8} {:>12} {:>12} {:>10}",
         "mask bits", "ops", "bytes added", "speedup", "<4 lines"
@@ -26,10 +30,12 @@ fn main() {
     for bits in [1u8, 2, 4, 8, 16, 32, 64] {
         let cfg = IspyConfig::coalescing_only().with_coalesce_bits(bits);
         let plan = Planner::new(&program, &trace, &prof, cfg).plan();
-        let r = run(&program, &trace, &sim_cfg, RunOptions {
-            injections: Some(&plan.injections),
-            ..Default::default()
-        });
+        let r = run(
+            &program,
+            &trace,
+            &sim_cfg,
+            RunOptions { injections: Some(&plan.injections), ..Default::default() },
+        );
         println!(
             "{:>9} {:>8} {:>12} {:>11.3}x {:>9.1}%",
             bits,

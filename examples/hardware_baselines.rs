@@ -26,10 +26,12 @@ fn main() {
         let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
 
         let hw_speedup = |pf: &mut dyn HwPrefetcher| {
-            let r = run(&program, &trace, &sim_cfg, RunOptions {
-                hw_prefetcher: Some(pf),
-                ..Default::default()
-            });
+            let r = run(
+                &program,
+                &trace,
+                &sim_cfg,
+                RunOptions { hw_prefetcher: Some(pf), ..Default::default() },
+            );
             r.speedup_over(&base)
         };
         let n1 = hw_speedup(&mut NextNLine::new(1));
@@ -39,10 +41,12 @@ fn main() {
 
         let prof = profile(&program, &trace, &sim_cfg, SampleRate::EXACT);
         let plan = Planner::new(&program, &trace, &prof, IspyConfig::default()).plan();
-        let ri = run(&program, &trace, &sim_cfg, RunOptions {
-            injections: Some(&plan.injections),
-            ..Default::default()
-        });
+        let ri = run(
+            &program,
+            &trace,
+            &sim_cfg,
+            RunOptions { injections: Some(&plan.injections), ..Default::default() },
+        );
         println!(
             "{:<16} {:>9.3}x {:>9.3}x {:>9.3}x {:>9.3}x {:>9.3}x {:>9.3}x",
             program.name(),

@@ -24,20 +24,27 @@ fn main() {
     let asmdb = AsmDbPlanner::new(&program, &prof, AsmDbConfig::default()).plan();
 
     println!("wordpress, plans built from the profiled input only\n");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>14}", "input", "ideal", "asmdb", "i-spy", "i-spy %ideal");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "input", "ideal", "asmdb", "i-spy", "i-spy %ideal"
+    );
     for k in 0..5 {
         let input = model.input_variant(k);
         let trace = program.record_trace(input, events);
         let base = run(&program, &trace, &sim_cfg, RunOptions::default());
         let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
-        let ra = run(&program, &trace, &sim_cfg, RunOptions {
-            injections: Some(&asmdb.injections),
-            ..Default::default()
-        });
-        let ri = run(&program, &trace, &sim_cfg, RunOptions {
-            injections: Some(&ispy.injections),
-            ..Default::default()
-        });
+        let ra = run(
+            &program,
+            &trace,
+            &sim_cfg,
+            RunOptions { injections: Some(&asmdb.injections), ..Default::default() },
+        );
+        let ri = run(
+            &program,
+            &trace,
+            &sim_cfg,
+            RunOptions { injections: Some(&ispy.injections), ..Default::default() },
+        );
         println!(
             "{:<10} {:>11.3}x {:>11.3}x {:>11.3}x {:>13.1}%",
             if k == 0 { "profiled".to_string() } else { format!("drift-{k}") },

@@ -6,10 +6,7 @@ use ispy_harness::{Scale, Session};
 use ispy_trace::apps;
 
 fn session() -> Session {
-    Session::with_apps(
-        Scale::test(),
-        vec![apps::cassandra(), apps::verilator(), apps::wordpress()],
-    )
+    Session::with_apps(Scale::test(), vec![apps::cassandra(), apps::verilator(), apps::wordpress()])
 }
 
 /// Both single-technique variants beat the no-prefetch baseline.
@@ -83,8 +80,7 @@ fn sampled_profiles_still_work() {
     let ctx = &s.apps()[0];
     let c = s.comparison(0);
     let sampled = profile(&ctx.program, &ctx.trace, &SimConfig::default(), SampleRate::every(10));
-    let plan =
-        Planner::new(&ctx.program, &ctx.trace, &sampled, IspyConfig::default()).plan();
+    let plan = Planner::new(&ctx.program, &ctx.trace, &sampled, IspyConfig::default()).plan();
     let r = ctx.simulate(&SimConfig::default(), Some(&plan.injections));
     assert!(r.cycles < c.baseline.cycles, "sampled plan must still help");
 }

@@ -36,11 +36,7 @@ fn fig10_fraction_of_ideal_is_sane() {
     let t = figures::fig10::run(&session);
     for (r, row) in t.rows.iter().enumerate() {
         let frac = t.cell_f64(r, 4).expect("parsable percentage");
-        assert!(
-            (0.0..=100.0).contains(&frac),
-            "{}: fraction of ideal {frac} out of range",
-            row[0]
-        );
+        assert!((0.0..=100.0).contains(&frac), "{}: fraction of ideal {frac} out of range", row[0]);
     }
 }
 

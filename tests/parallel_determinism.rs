@@ -1,0 +1,33 @@
+//! The harness's parallelism guarantee: every figure driver produces
+//! byte-identical tables with 1 thread and with many, because fan-outs
+//! collect rows in sweep order and every cached artifact (comparisons,
+//! planner baselines) is deterministic regardless of fill order.
+
+use ispy_harness::{figures, Scale, Session, Table};
+use ispy_trace::apps;
+
+/// Runs every registered figure at the given thread count over a fresh
+/// session (fresh caches each time, so cache-fill order genuinely differs
+/// between runs).
+fn all_tables(threads: usize) -> Vec<Table> {
+    ispy_parallel::set_threads(threads);
+    let session = Session::with_apps(
+        Scale::test(),
+        vec![apps::cassandra(), apps::verilator(), apps::wordpress()],
+    );
+    let tables = figures::all().into_iter().map(|spec| (spec.run)(&session)).collect();
+    ispy_parallel::set_threads(0);
+    tables
+}
+
+#[test]
+fn every_figure_is_identical_serial_vs_parallel() {
+    let serial = all_tables(1);
+    let parallel = all_tables(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s, p, "figure {} differs between 1 and 4 threads", s.id);
+        // The JSON export (what `repro --json` writes) matches too.
+        assert_eq!(s.to_json(), p.to_json());
+    }
+}

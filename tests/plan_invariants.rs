@@ -67,8 +67,7 @@ fn footprint_accounting_is_exact() {
             .map(|op| u64::from(op.encoded_bytes()))
             .sum();
         assert_eq!(by_encoding, c.ispy_plan.stats.injected_bytes);
-        let expected =
-            by_encoding as f64 / s.apps()[i].program.text_bytes() as f64;
+        let expected = by_encoding as f64 / s.apps()[i].program.text_bytes() as f64;
         assert!((c.ispy_plan.stats.static_increase - expected).abs() < 1e-12);
     }
 }
@@ -94,7 +93,10 @@ fn stats_match_injections() {
             }
         }
         let st = &c.ispy_plan.stats;
-        assert_eq!((plain, cond, coal, cl), (st.ops_plain, st.ops_cond, st.ops_coalesced, st.ops_cond_coalesced));
+        assert_eq!(
+            (plain, cond, coal, cl),
+            (st.ops_plain, st.ops_cond, st.ops_coalesced, st.ops_cond_coalesced)
+        );
         assert_eq!(st.ops_total(), c.ispy_plan.injections.num_ops());
     }
 }
@@ -106,11 +108,11 @@ fn stats_match_injections() {
 fn planner_variants_emit_expected_op_kinds() {
     let s = session();
     let ctx = &s.apps()[0];
-    let cond = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::conditional_only())
-        .plan();
+    let cond =
+        Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::conditional_only()).plan();
     assert_eq!(cond.stats.ops_coalesced + cond.stats.ops_cond_coalesced, 0);
-    let coal = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::coalescing_only())
-        .plan();
+    let coal =
+        Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::coalescing_only()).plan();
     assert_eq!(coal.stats.ops_cond + coal.stats.ops_cond_coalesced, 0);
     let asmdb = AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
     assert_eq!(asmdb.stats.ops_total(), asmdb.stats.ops_plain);
