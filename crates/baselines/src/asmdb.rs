@@ -101,7 +101,7 @@ impl<'a> AsmDbPlanner<'a> {
         stats.sites = injections.num_sites();
         stats.injected_bytes = injections.injected_bytes();
         stats.static_increase = injections.static_increase(self.program.text_bytes());
-        Plan { injections, stats, context_details: Vec::new() }
+        Plan { injections, stats, context_details: Vec::new(), provenance: Vec::new() }
     }
 }
 

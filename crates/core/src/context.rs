@@ -139,10 +139,12 @@ pub fn discover_multi(
     let mut covered = vec![false; size];
     let mut chosen: Vec<ContextChoice> = Vec::new();
     let mut covered_hits = 0u64;
+    let mut subsets_evaluated = 0u64;
 
     while chosen.len() < max_contexts {
         let mut best: Option<(u64, f64, u64, usize)> = None; // (new, p, support, mask)
         for s in 1..size {
+            subsets_evaluated += 1;
             if (s.count_ones() as usize) > ctx_size {
                 continue;
             }
@@ -184,6 +186,11 @@ pub fn discover_multi(
             (0..n).filter(|i| mask & (1 << i) != 0).map(|i| candidates[i]).collect();
         chosen.push(ContextChoice { blocks, probability: p, support, baseline });
     }
+    // Mining-depth accounting: how much subset space each query explored.
+    let tele = ispy_telemetry::global();
+    tele.add("core.context.queries", 1);
+    tele.add("core.context.subsets_evaluated", subsets_evaluated);
+    tele.add("core.context.contexts_adopted", chosen.len() as u64);
     (chosen, covered_hits as f64 / total_hits as f64)
 }
 

@@ -35,14 +35,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coalesce;
 pub mod config;
 pub mod context;
 pub mod planner;
+pub mod provenance;
 pub mod window;
 
 pub use config::IspyConfig;
 pub use planner::{Plan, PlanStats, Planner, PlannerBaseline};
+pub use provenance::{PlannedLine, ProvenanceRecord};
 pub use window::SiteCandidate;

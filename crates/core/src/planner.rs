@@ -3,10 +3,11 @@
 use crate::coalesce::{coalesce_lines, CoalescedGroup};
 use crate::config::IspyConfig;
 use crate::context::{discover_multi, ContextChoice};
+use crate::provenance::{PlannedLine, ProvenanceRecord};
 use crate::window::{
     find_candidates, select_covering_sites, SelectedSite, SelectionPolicy, SiteCandidate,
 };
-use ispy_isa::{ContextHash, InjectionMap, PrefetchOp};
+use ispy_isa::{ContextHash, InjectionMap, PrefetchOp, ProvenanceId};
 use ispy_profile::{scan_joint, JointCounts, JointQuery, Profile};
 use ispy_trace::{BlockId, Line, Program, Trace};
 use std::collections::{BTreeMap, HashMap};
@@ -100,6 +101,9 @@ pub struct Plan {
     /// the harness can measure the context hash's false-positive rate
     /// (Fig. 21) against ground truth.
     pub context_details: Vec<(BlockId, Vec<BlockId>)>,
+    /// One record per injected op, indexed by the [`ProvenanceId`] the op
+    /// carries: the full decision chain behind the injection.
+    pub provenance: Vec<ProvenanceRecord>,
 }
 
 /// Window-search parameters that shape a line's site candidates: changing
@@ -244,6 +248,19 @@ impl PlannerBaseline {
         }
         keys.iter().map(|k| Arc::clone(&cache[k])).collect()
     }
+}
+
+/// Planning estimates carried from a [`Pending`] entry into pass 3, so each
+/// emitted op's provenance record can report them per target line.
+#[derive(Debug, Clone, Copy)]
+struct LineMeta {
+    miss_count: u64,
+    site_presence: f64,
+    site_precision: f64,
+    reach_prob: f64,
+    window_cycles: f64,
+    /// `(probability, baseline, support)` of the adopted context, if any.
+    ctx: Option<(f64, f64, u64)>,
 }
 
 /// One miss line's planning state between passes.
@@ -394,6 +411,8 @@ impl<'a> Planner<'a> {
     }
 
     fn plan_impl(&self, baseline: Option<&PlannerBaseline>) -> Plan {
+        let tele = ispy_telemetry::global();
+        let _plan_span = tele.span("core.plan");
         let mut stats = PlanStats {
             coalesced_distance_hist: vec![0; usize::from(self.cfg.coalesce_bits)],
             lines_per_op_hist: vec![0; usize::from(self.cfg.coalesce_bits) + 1],
@@ -667,14 +686,26 @@ impl<'a> Planner<'a> {
         }
 
         // ---- Pass 3: group by (site, context), coalesce, emit. ------------
-        let mut groups: BTreeMap<(u32, Vec<u32>), Vec<Line>> = BTreeMap::new();
+        type GroupKey = (u32, Vec<u32>);
+        let mut groups: BTreeMap<GroupKey, Vec<(Line, LineMeta)>> = BTreeMap::new();
         for entry in &pending {
             if entry.dropped {
                 stats.entries_dropped += 1;
                 continue;
             }
+            let meta = LineMeta {
+                miss_count: self.profile.misses.line(entry.line).map_or(0, |s| s.count),
+                site_presence: entry.site.presence_frac,
+                site_precision: entry.site.precision,
+                reach_prob: entry.site.cand.reach_prob,
+                window_cycles: entry.site.cand.cycles,
+                ctx: None,
+            };
             if entry.ctxs.is_empty() {
-                groups.entry((entry.site.cand.block.0, Vec::new())).or_default().push(entry.line);
+                groups
+                    .entry((entry.site.cand.block.0, Vec::new()))
+                    .or_default()
+                    .push((entry.line, meta));
                 continue;
             }
             for ctx in &entry.ctxs {
@@ -682,13 +713,16 @@ impl<'a> Planner<'a> {
                 ids.sort_unstable();
                 stats.contexts_adopted += 1;
                 stats.context_blocks_total += ctx.blocks.len();
-                groups.entry((entry.site.cand.block.0, ids)).or_default().push(entry.line);
+                let meta =
+                    LineMeta { ctx: Some((ctx.probability, ctx.baseline, ctx.support)), ..meta };
+                groups.entry((entry.site.cand.block.0, ids)).or_default().push((entry.line, meta));
             }
         }
 
         let mut injections = InjectionMap::new();
+        let mut provenance: Vec<ProvenanceRecord> = Vec::new();
         let mut context_details: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
-        for ((site_raw, ctx_blocks), lines) in groups {
+        for ((site_raw, ctx_blocks), entries) in groups {
             let site = BlockId(site_raw);
             let ctx_hash: Option<ContextHash> = if ctx_blocks.is_empty() {
                 None
@@ -698,6 +732,15 @@ impl<'a> Planner<'a> {
                     ctx_blocks.iter().map(|&b| self.program.block(BlockId(b)).start()),
                 ))
             };
+            // Per-line metadata for the provenance records; keep-first on a
+            // duplicate line keeps the choice deterministic (entries arrive
+            // in pass order).
+            let mut metas: BTreeMap<u64, LineMeta> = BTreeMap::new();
+            let mut lines: Vec<Line> = Vec::with_capacity(entries.len());
+            for (line, meta) in entries {
+                lines.push(line);
+                metas.entry(line.raw()).or_insert(meta);
+            }
             let packed: Vec<CoalescedGroup> = if self.cfg.coalescing {
                 coalesce_lines(lines, self.cfg.coalesce_bits)
             } else {
@@ -725,23 +768,58 @@ impl<'a> Planner<'a> {
                         PrefetchOp::Plain { target: group.base }
                     }
                 };
+                let mut targets = vec![group.base];
                 if let Some(mask) = group.mask {
                     for extra in mask.decode(group.base) {
                         let d = extra.distance_from(group.base).expect("forward") as usize;
                         stats.coalesced_distance_hist[d - 1] += 1;
+                        targets.push(extra);
                     }
                 }
                 let lines_count = group.line_count() as usize;
                 let idx = (lines_count - 1).min(stats.lines_per_op_hist.len() - 1);
                 stats.lines_per_op_hist[idx] += 1;
-                injections.push(site, op);
+                let id = ProvenanceId(provenance.len() as u32);
+                let rec_lines: Vec<PlannedLine> = targets
+                    .iter()
+                    .map(|&l| {
+                        let meta = metas.get(&l.raw()).copied().expect("emitted line was grouped");
+                        PlannedLine {
+                            line: l,
+                            miss_count: meta.miss_count,
+                            site_presence: meta.site_presence,
+                            site_precision: meta.site_precision,
+                            reach_prob: meta.reach_prob,
+                            window_cycles: meta.window_cycles,
+                            ctx_probability: meta.ctx.map(|(p, _, _)| p),
+                            ctx_baseline: meta.ctx.map(|(_, b, _)| b),
+                            ctx_support: meta.ctx.map(|(_, _, s)| s),
+                        }
+                    })
+                    .collect();
+                provenance.push(ProvenanceRecord {
+                    id,
+                    site,
+                    mnemonic: op.mnemonic(),
+                    base_line: group.base,
+                    mask: group.mask,
+                    context_blocks: ctx_blocks.iter().map(|&b| BlockId(b)).collect(),
+                    lines: rec_lines,
+                });
+                injections.push_traced(site, op, id);
             }
         }
 
         stats.sites = injections.num_sites();
         stats.injected_bytes = injections.injected_bytes();
         stats.static_increase = injections.static_increase(self.program.text_bytes());
-        Plan { injections, stats, context_details }
+        tele.add("core.plan.calls", 1);
+        tele.add("core.plan.target_lines", stats.target_lines as u64);
+        tele.add("core.plan.covered_lines", stats.covered_lines as u64);
+        tele.add("core.plan.entries_dropped", stats.entries_dropped as u64);
+        tele.add("core.plan.contexts_adopted", stats.contexts_adopted as u64);
+        tele.add("core.plan.ops_emitted", provenance.len() as u64);
+        Plan { injections, stats, context_details, provenance }
     }
 }
 
@@ -873,7 +951,39 @@ mod tests {
             assert_eq!(fresh.injections, reused.injections, "cfg {cfg:?}");
             assert_eq!(fresh.stats, reused.stats, "cfg {cfg:?}");
             assert_eq!(fresh.context_details, reused.context_details, "cfg {cfg:?}");
+            assert_eq!(fresh.provenance, reused.provenance, "cfg {cfg:?}");
         }
+    }
+
+    #[test]
+    fn provenance_records_cover_every_op() {
+        let (_, _, plan) =
+            planned(apps::cassandra().scaled_down(30), 30_000, IspyConfig::default());
+        // One record per emitted op, ids dense in emission order.
+        assert_eq!(plan.provenance.len(), plan.injections.num_ops());
+        for (i, rec) in plan.provenance.iter().enumerate() {
+            assert_eq!(rec.id.index(), i);
+            assert_eq!(rec.line_count() as usize, rec.lines.len());
+            assert!(!rec.lines.is_empty());
+        }
+        // Every op's traced id resolves to a record that describes that op.
+        let mut seen = vec![false; plan.provenance.len()];
+        for (site, ops) in plan.injections.iter() {
+            let ids = plan.injections.ids_at(site);
+            assert_eq!(ids.len(), ops.len());
+            for (op, id) in ops.iter().zip(ids) {
+                let id = id.expect("planner-emitted ops carry provenance");
+                let rec = &plan.provenance[id.index()];
+                assert_eq!(rec.site, site);
+                assert_eq!(rec.mnemonic, op.mnemonic());
+                assert_eq!(rec.base_line, op.base_line());
+                assert_eq!(rec.line_count() as usize, op.target_lines().len());
+                assert_eq!(rec.is_conditional(), op.condition().is_some());
+                assert!(!seen[id.index()], "duplicate provenance id");
+                seen[id.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every record must be referenced by an op");
     }
 
     #[test]

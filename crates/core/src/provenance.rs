@@ -1,0 +1,161 @@
+//! Per-injection provenance: why each prefetch instruction exists.
+//!
+//! The planner emits one [`ProvenanceRecord`] per injected op, indexed by
+//! the [`ProvenanceId`] the op carries in the
+//! [`InjectionMap`](ispy_isa::InjectionMap). A record captures the whole
+//! decision chain of §IV: the miss line(s) being targeted, the chosen
+//! injection site with its window-search estimates (reach probability,
+//! expected cycles), the adopted context blocks with their conditional miss
+//! probability, and the coalescing bitmask. Joined with the simulator's
+//! [`OutcomeLedger`](ispy_sim::OutcomeLedger), this answers "why was this
+//! prefetch injected, and what did it buy?" — the audit the `repro explain`
+//! subcommand renders.
+
+use ispy_isa::{CoalesceMask, ProvenanceId};
+use ispy_trace::{BlockId, Line};
+
+/// Planning estimates for one target line of an injected op.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_core::provenance::PlannedLine;
+/// use ispy_trace::Line;
+///
+/// let pl = PlannedLine {
+///     line: Line::new(42),
+///     miss_count: 120,
+///     site_presence: 0.8,
+///     site_precision: 0.4,
+///     reach_prob: 0.9,
+///     window_cycles: 55.0,
+///     ctx_probability: Some(0.95),
+///     ctx_baseline: Some(0.2),
+///     ctx_support: Some(64),
+/// };
+/// assert!(pl.ctx_probability.unwrap() > pl.ctx_baseline.unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedLine {
+    /// The targeted I-cache line.
+    pub line: Line,
+    /// Profiled miss count that made the line a target.
+    pub miss_count: u64,
+    /// Fraction of the line's sampled misses the site preceded (coverage).
+    pub site_presence: f64,
+    /// `P(miss | site executes)` estimate at selection time.
+    pub site_precision: f64,
+    /// Probability that executing the site leads to the miss block.
+    pub reach_prob: f64,
+    /// Expected cycles from the site to the miss block's fetch.
+    pub window_cycles: f64,
+    /// `P(miss | context present)` for the adopted context, if conditional.
+    pub ctx_probability: Option<f64>,
+    /// The unconditional baseline the context improved on, if conditional.
+    pub ctx_baseline: Option<f64>,
+    /// Site executions supporting the context estimate, if conditional.
+    pub ctx_support: Option<u64>,
+}
+
+/// The full decision chain behind one injected prefetch instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_core::provenance::ProvenanceRecord;
+/// use ispy_isa::ProvenanceId;
+/// use ispy_trace::{BlockId, Line};
+///
+/// let rec = ProvenanceRecord {
+///     id: ProvenanceId(0),
+///     site: BlockId(7),
+///     mnemonic: "Cprefetch",
+///     base_line: Line::new(42),
+///     mask: None,
+///     context_blocks: vec![BlockId(3)],
+///     lines: Vec::new(),
+/// };
+/// assert_eq!(rec.id.index(), 0);
+/// assert!(rec.is_conditional());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// The id carried by the emitted op (index into `Plan::provenance`).
+    pub id: ProvenanceId,
+    /// The injection site block.
+    pub site: BlockId,
+    /// The emitted instruction's mnemonic
+    /// (`prefetch`/`Cprefetch`/`Lprefetch`/`CLprefetch`).
+    pub mnemonic: &'static str,
+    /// The op's base target line.
+    pub base_line: Line,
+    /// The coalescing bitmask, if lines were merged into this op.
+    pub mask: Option<CoalesceMask>,
+    /// Predictor blocks of the adopted context (empty = unconditional).
+    pub context_blocks: Vec<BlockId>,
+    /// Planning estimates per target line (base first, then mask extras).
+    pub lines: Vec<PlannedLine>,
+}
+
+impl ProvenanceRecord {
+    /// Whether the op fires only under a context condition.
+    pub fn is_conditional(&self) -> bool {
+        !self.context_blocks.is_empty()
+    }
+
+    /// Number of cache lines this op prefetches when it fires.
+    pub fn line_count(&self) -> u32 {
+        1 + self.mask.map_or(0, |m| m.extra_lines())
+    }
+
+    /// Best-estimate probability that a firing is useful: the context's
+    /// conditional miss probability when conditional, otherwise the site's
+    /// reach probability (both over the base line).
+    pub fn predicted_accuracy(&self) -> f64 {
+        self.lines.first().map(|l| l.ctx_probability.unwrap_or(l.reach_prob)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ctx: Option<f64>) -> ProvenanceRecord {
+        ProvenanceRecord {
+            id: ProvenanceId(1),
+            site: BlockId(2),
+            mnemonic: "prefetch",
+            base_line: Line::new(10),
+            mask: None,
+            context_blocks: if ctx.is_some() { vec![BlockId(5)] } else { Vec::new() },
+            lines: vec![PlannedLine {
+                line: Line::new(10),
+                miss_count: 50,
+                site_presence: 0.7,
+                site_precision: 0.3,
+                reach_prob: 0.6,
+                window_cycles: 80.0,
+                ctx_probability: ctx,
+                ctx_baseline: ctx.map(|_| 0.2),
+                ctx_support: ctx.map(|_| 40),
+            }],
+        }
+    }
+
+    #[test]
+    fn accuracy_prefers_context_probability() {
+        assert!((record(Some(0.9)).predicted_accuracy() - 0.9).abs() < 1e-12);
+        assert!((record(None).predicted_accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_flag_tracks_context_blocks() {
+        assert!(record(Some(0.9)).is_conditional());
+        assert!(!record(None).is_conditional());
+    }
+
+    #[test]
+    fn line_count_without_mask_is_one() {
+        assert_eq!(record(None).line_count(), 1);
+    }
+}

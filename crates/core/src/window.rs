@@ -105,6 +105,7 @@ pub fn find_candidates(
     let start = Node { prob: 1.0, cycles: 0.0, blocks: 0, block: target };
     heap.push(start);
     let mut expanded = 0usize;
+    let mut rejected_untimely = 0u64;
 
     while let Some(node) = heap.pop() {
         // Settled check: only the best (first-popped) entry per block counts.
@@ -128,6 +129,10 @@ pub fn find_candidates(
                 cycles: node.cycles,
                 blocks: node.blocks,
             });
+        } else if node.block != target {
+            // Settled predecessor outside the prefetch window: too close to
+            // hide the latency, or too far to trust the path estimate.
+            rejected_untimely += 1;
         }
         // Expanding beyond max_cycles cannot produce in-window candidates
         // (cycle costs are non-negative along predecessors).
@@ -162,6 +167,12 @@ pub fn find_candidates(
             .unwrap_or(Ordering::Equal)
             .then(a.block.0.cmp(&b.block.0))
     });
+    // One registry touch per search (not per node) keeps the hot loop clean.
+    let tele = ispy_telemetry::global();
+    tele.add("core.window.searches", 1);
+    tele.add("core.window.nodes_expanded", expanded as u64);
+    tele.add("core.window.candidates_found", out.len() as u64);
+    tele.add("core.window.rejected_untimely", rejected_untimely);
     out
 }
 

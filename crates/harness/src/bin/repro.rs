@@ -5,14 +5,18 @@
 //! repro fig10                     # run one experiment at full scale
 //! repro fig10 fig11 --quick       # several experiments, reduced scale
 //! repro all --json out/           # everything, also writing JSON per figure
+//! repro all --metrics out/        # everything, plus telemetry JSON per figure
 //! repro all --jobs 8              # cap the worker pool at 8 threads
 //! repro fig17 --apps wordpress    # run on a subset of the applications
+//! repro explain wordpress --quick # why/what-did-it-buy audit per injection
 //! ```
 
-use ispy_harness::{figures, Scale, Session};
+use ispy_harness::{explain, figures, metrics, Scale, Session};
+use ispy_telemetry::{Telemetry, TimingMode};
 use ispy_trace::apps;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -24,7 +28,11 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::full();
     let mut json_dir: Option<PathBuf> = None;
+    let mut metrics_dir: Option<PathBuf> = None;
     let mut app_names: Option<Vec<String>> = None;
+    let mut explain_mode = false;
+    let mut explain_app: Option<String> = None;
+    let mut top_n = 10usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,6 +44,26 @@ fn main() -> ExitCode {
                     Some(dir) => json_dir = Some(PathBuf::from(dir)),
                     None => {
                         eprintln!("--json needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => metrics_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--metrics needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--top" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => top_n = n,
+                    _ => {
+                        eprintln!("--top needs a count >= 1");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -72,9 +100,23 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "all" => ids.extend(figures::all().into_iter().map(|s| s.id.to_string())),
-            other => ids.push(other.to_string()),
+            "explain" => explain_mode = true,
+            other => {
+                if explain_mode && explain_app.is_none() {
+                    explain_app = Some(other.to_string());
+                } else {
+                    ids.push(other.to_string());
+                }
+            }
         }
         i += 1;
+    }
+    if explain_mode {
+        let Some(app) = explain_app else {
+            eprintln!("explain needs an app name; known: {}", apps::NAMES.join(","));
+            return ExitCode::FAILURE;
+        };
+        return run_explain(&app, scale, top_n);
     }
     ids.dedup();
     for id in &ids {
@@ -107,18 +149,32 @@ fn main() -> ExitCode {
         scale.events,
         ispy_parallel::threads(),
     );
-    let t0 = Instant::now();
-    let session = Session::with_apps(scale, models);
-    eprintln!("prepared in {:.1?}", t0.elapsed());
-
-    if let Some(dir) = &json_dir {
+    for dir in [&json_dir, &metrics_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
+    let t0 = Instant::now();
+    let session = Session::with_apps(scale, models);
+    eprintln!("prepared in {:.1?}", t0.elapsed());
+    if let Some(dir) = &metrics_dir {
+        // Preparation telemetry (profiling replays, CFG builds) accumulated
+        // in the startup registry; harvest it before per-figure scoping.
+        if write_telemetry(dir, "prepare").is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+
     for id in &ids {
         let spec = figures::by_id(id).expect("validated above");
+        if metrics_dir.is_some() {
+            // A fresh registry per figure attributes planner/profiler work
+            // to the experiment that triggered it. Session caches persist,
+            // so a figure that only reads cached comparisons shows (almost)
+            // empty counters — that, too, is information.
+            ispy_telemetry::swap_global(Arc::new(Telemetry::new()));
+        }
         let t = Instant::now();
         let table = (spec.run)(&session);
         let secs = t.elapsed().as_secs_f64();
@@ -131,11 +187,62 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(dir) = &metrics_dir {
+            if write_telemetry(dir, id).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = &metrics_dir {
+        let path = dir.join("outcomes.json");
+        if let Err(e) = std::fs::write(&path, metrics::outcome_summary(&session)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
 
+/// Writes the current global registry as `<dir>/<name>.telemetry.json`.
+fn write_telemetry(dir: &std::path::Path, name: &str) -> Result<(), ()> {
+    let path = dir.join(format!("{name}.telemetry.json"));
+    let json = ispy_telemetry::global().to_json(TimingMode::Full);
+    std::fs::write(&path, json).map_err(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+    })
+}
+
+/// `repro explain <app>`: prepare just that app and print the markdown
+/// provenance/outcome audit of its top-N injections.
+fn run_explain(app: &str, scale: Scale, top_n: usize) -> ExitCode {
+    let Some(model) = apps::by_name(app) else {
+        eprintln!("unknown app `{app}`; known: {}", apps::NAMES.join(","));
+        return ExitCode::FAILURE;
+    };
+    eprintln!(
+        "preparing {app} (shrink={}, events={}, threads={}) ...",
+        scale.shrink,
+        scale.events,
+        ispy_parallel::threads(),
+    );
+    let t0 = Instant::now();
+    let session = Session::with_apps(scale, vec![model]);
+    match explain(&session, app, top_n) {
+        Ok(report) => {
+            eprintln!("prepared and analysed in {:.1?}\n", t0.elapsed());
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() {
     eprintln!("usage: repro <list|all|fig01|fig03|...|fig21|table1|walkthrough>");
-    eprintln!("             [--quick | --test-scale] [--json DIR] [--jobs N] [--apps a,b,c]");
+    eprintln!("             [--quick | --test-scale] [--json DIR] [--metrics DIR]");
+    eprintln!("             [--jobs N] [--apps a,b,c]");
+    eprintln!("       repro explain <app> [--quick | --test-scale] [--top N] [--jobs N]");
 }

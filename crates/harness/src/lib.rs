@@ -20,9 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod figures;
+pub mod metrics;
 pub mod report;
 pub mod session;
 
+pub use explain::explain;
 pub use report::Table;
 pub use session::{Comparison, Scale, Session};

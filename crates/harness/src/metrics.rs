@@ -1,0 +1,123 @@
+//! The `--metrics` export: per-app injection-outcome histograms.
+//!
+//! Telemetry counters and spans (from [`ispy_telemetry`]) cover *how much
+//! work* each pipeline phase did; this module covers *what the injections
+//! achieved*: for every app whose [`Comparison`](crate::Comparison) the
+//! session computed, each planned injection is classified by its dominant
+//! runtime outcome and the classes are counted into a histogram. The JSON is
+//! hand-rolled like [`crate::report`] (the build environment is offline).
+
+use crate::session::Session;
+use ispy_sim::InjectionOutcome;
+use std::fmt::Write as _;
+
+/// Dominant-outcome classes, in the order they render.
+const CLASSES: [&str; 6] =
+    ["useful", "late_only", "wasted", "always_suppressed", "never_executed", "pending"];
+
+/// Classifies one injection by what dominated its runtime behaviour.
+fn classify(o: &InjectionOutcome) -> &'static str {
+    if o.executed == 0 {
+        "never_executed"
+    } else if o.fired == 0 {
+        "always_suppressed"
+    } else if o.useful > 0 {
+        "useful"
+    } else if o.late > 0 {
+        "late_only"
+    } else if o.evicted_unused > 0 {
+        "wasted"
+    } else {
+        // Fired, but no line settled (still resident or in flight at exit).
+        "pending"
+    }
+}
+
+/// Renders per-app injection-outcome histograms as pretty JSON:
+/// `{"apps": {"<name>": {"injections": n, "totals": {...}, "histogram":
+/// {...}}}}`. Apps are reported in session order; each app's comparison is
+/// computed (and cached) on demand.
+pub fn outcome_summary(session: &Session) -> String {
+    let mut out = String::from("{\n  \"apps\": {");
+    let napps = session.apps().len();
+    for i in 0..napps {
+        let name = session.apps()[i].name();
+        let cmp = session.comparison(i);
+        let ledger = &cmp.ispy_outcomes;
+        let total = |f: fn(&InjectionOutcome) -> u64| ledger.total(f);
+        let _ = write!(
+            out,
+            "\n    \"{name}\": {{\n      \"injections\": {},",
+            ledger.per_injection.len()
+        );
+        let _ = write!(
+            out,
+            "\n      \"totals\": {{ \"executed\": {}, \"fired\": {}, \"suppressed\": {}, \
+             \"lines_issued\": {}, \"lines_resident\": {}, \"useful\": {}, \"late\": {}, \
+             \"evicted_unused\": {} }},",
+            total(|o| o.executed),
+            total(|o| o.fired),
+            total(|o| o.suppressed),
+            total(|o| o.lines_issued),
+            total(|o| o.lines_resident),
+            total(|o| o.useful),
+            total(|o| o.late),
+            total(|o| o.evicted_unused),
+        );
+        let _ = write!(out, "\n      \"histogram\": {{");
+        for (k, class) in CLASSES.iter().enumerate() {
+            let n = ledger.per_injection.iter().filter(|o| classify(o) == *class).count();
+            let comma = if k + 1 < CLASSES.len() { "," } else { "" };
+            let _ = write!(out, " \"{class}\": {n}{comma}");
+        }
+        let _ = write!(out, " }}\n    }}{}", if i + 1 < napps { "," } else { "" });
+    }
+    if napps > 0 {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Scale;
+    use ispy_trace::apps;
+
+    #[test]
+    fn classification_covers_the_outcome_space() {
+        let mut o = InjectionOutcome::default();
+        assert_eq!(classify(&o), "never_executed");
+        o.executed = 2;
+        o.suppressed = 2;
+        assert_eq!(classify(&o), "always_suppressed");
+        o.fired = 1;
+        assert_eq!(classify(&o), "pending");
+        o.evicted_unused = 1;
+        assert_eq!(classify(&o), "wasted");
+        o.late = 1;
+        assert_eq!(classify(&o), "late_only");
+        o.useful = 1;
+        assert_eq!(classify(&o), "useful");
+    }
+
+    #[test]
+    fn summary_renders_every_app_and_class() {
+        let s = Session::with_apps(Scale::test(), vec![apps::cassandra()]);
+        let j = outcome_summary(&s);
+        assert!(j.contains("\"cassandra\""));
+        assert!(j.contains("\"injections\""));
+        for class in CLASSES {
+            assert!(j.contains(class), "missing class {class}");
+        }
+        // Histogram classes partition the injections.
+        let cmp = s.comparison(0);
+        let n = cmp.ispy_outcomes.per_injection.len();
+        let counted: usize = CLASSES
+            .iter()
+            .map(|c| cmp.ispy_outcomes.per_injection.iter().filter(|o| classify(o) == *c).count())
+            .sum();
+        assert_eq!(counted, n);
+    }
+}

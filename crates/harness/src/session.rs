@@ -4,7 +4,7 @@ use ispy_baselines::asmdb::{AsmDbConfig, AsmDbPlanner};
 use ispy_core::planner::Plan;
 use ispy_core::{IspyConfig, Planner, PlannerBaseline};
 use ispy_profile::{profile, Profile, SampleRate};
-use ispy_sim::{run, RunOptions, SimConfig, SimResult};
+use ispy_sim::{run, OutcomeLedger, RunOptions, SimConfig, SimResult};
 use ispy_trace::{apps, AppModel, InputSpec, Program, Trace};
 use std::sync::{Arc, OnceLock};
 
@@ -56,6 +56,8 @@ pub struct AppContext {
 impl AppContext {
     /// Prepares one application at the given scale.
     pub fn prepare(model: AppModel, scale: Scale) -> Self {
+        let tele = ispy_telemetry::global();
+        let _span = tele.span("session.prepare");
         let model = model.scaled_down(scale.shrink);
         let program = model.generate();
         let trace = program.record_trace(model.default_input(), scale.events);
@@ -107,6 +109,9 @@ pub struct Comparison {
     pub ispy: SimResult,
     /// I-SPY plan.
     pub ispy_plan: Plan,
+    /// Per-injection runtime outcomes for the I-SPY run, indexed by the
+    /// provenance ids in [`Plan::provenance`].
+    pub ispy_outcomes: OutcomeLedger,
 }
 
 /// A prepared set of applications plus result caches.
@@ -186,8 +191,18 @@ impl Session {
         let asmdb = ctx.simulate(&scfg, Some(&asmdb_plan.injections));
         let ispy_plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
             .plan_with_baseline(&self.baselines[i]);
-        let ispy = ctx.simulate(&scfg, Some(&ispy_plan.injections));
-        Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan }
+        let mut ispy_outcomes = OutcomeLedger::with_capacity(ispy_plan.provenance.len());
+        let ispy = run(
+            &ctx.program,
+            &ctx.trace,
+            &scfg,
+            RunOptions {
+                injections: Some(&ispy_plan.injections),
+                outcomes: Some(&mut ispy_outcomes),
+                ..Default::default()
+            },
+        );
+        Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan, ispy_outcomes }
     }
 
     /// Plans and runs an I-SPY configuration variant for app `i` (used by

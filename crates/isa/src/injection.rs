@@ -9,7 +9,50 @@ use crate::ops::PrefetchOp;
 use ispy_trace::BlockId;
 use std::collections::BTreeMap;
 
+/// Identity of one planned injection, assigned by the planner in emission
+/// order and carried through the simulator so every runtime outcome can be
+/// attributed back to the decision that caused it.
+///
+/// The id indexes the planner's provenance table (`Plan::provenance` in
+/// `ispy-core`): id `k` is the `k`-th record.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::ProvenanceId;
+///
+/// let id = ProvenanceId(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProvenanceId(pub u32);
+
+impl ProvenanceId {
+    /// The id as a `usize` index into a provenance table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The ops at one site plus their provenance ids, kept index-aligned.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct SiteOps {
+    ops: Vec<PrefetchOp>,
+    ids: Vec<Option<ProvenanceId>>,
+}
+
+impl SiteOps {
+    fn push(&mut self, op: PrefetchOp, id: Option<ProvenanceId>) {
+        self.ops.push(op);
+        self.ids.push(id);
+    }
+}
+
 /// A plan of injected prefetch instructions, keyed by injection site.
+///
+/// Each op optionally carries a [`ProvenanceId`] linking it back to the
+/// planner decision that emitted it; maps built by hand (tests, baselines)
+/// may leave ids unset via [`InjectionMap::push`].
 ///
 /// # Examples
 ///
@@ -21,10 +64,11 @@ use std::collections::BTreeMap;
 /// map.push(BlockId(7), PrefetchOp::Plain { target: Line::new(42) });
 /// assert_eq!(map.num_ops(), 1);
 /// assert_eq!(map.injected_bytes(), 7);
+/// assert_eq!(map.ids_at(ispy_trace::BlockId(7)), &[None]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct InjectionMap {
-    per_block: BTreeMap<BlockId, Vec<PrefetchOp>>,
+    per_block: BTreeMap<BlockId, SiteOps>,
 }
 
 impl InjectionMap {
@@ -33,19 +77,41 @@ impl InjectionMap {
         Self::default()
     }
 
-    /// Adds an op at `site`.
+    /// Adds an op at `site` with no provenance id.
     pub fn push(&mut self, site: BlockId, op: PrefetchOp) {
-        self.per_block.entry(site).or_default().push(op);
+        self.per_block.entry(site).or_default().push(op, None);
+    }
+
+    /// Adds an op at `site` attributed to the planner decision `id`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ispy_isa::{InjectionMap, PrefetchOp, ProvenanceId};
+    /// use ispy_trace::{BlockId, Line};
+    ///
+    /// let mut map = InjectionMap::new();
+    /// map.push_traced(BlockId(1), PrefetchOp::Plain { target: Line::new(9) }, ProvenanceId(0));
+    /// assert_eq!(map.ids_at(BlockId(1)), &[Some(ProvenanceId(0))]);
+    /// ```
+    pub fn push_traced(&mut self, site: BlockId, op: PrefetchOp, id: ProvenanceId) {
+        self.per_block.entry(site).or_default().push(op, Some(id));
     }
 
     /// The ops injected at `site`, if any.
     pub fn ops_at(&self, site: BlockId) -> &[PrefetchOp] {
-        self.per_block.get(&site).map_or(&[], Vec::as_slice)
+        self.per_block.get(&site).map_or(&[], |s| s.ops.as_slice())
+    }
+
+    /// The provenance ids of the ops at `site`, index-aligned with
+    /// [`InjectionMap::ops_at`].
+    pub fn ids_at(&self, site: BlockId) -> &[Option<ProvenanceId>] {
+        self.per_block.get(&site).map_or(&[], |s| s.ids.as_slice())
     }
 
     /// Iterates `(site, ops)` pairs in block order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[PrefetchOp])> {
-        self.per_block.iter().map(|(b, ops)| (*b, ops.as_slice()))
+        self.per_block.iter().map(|(b, s)| (*b, s.ops.as_slice()))
     }
 
     /// Number of injection sites.
@@ -55,7 +121,7 @@ impl InjectionMap {
 
     /// Total number of injected instructions.
     pub fn num_ops(&self) -> usize {
-        self.per_block.values().map(Vec::len).sum()
+        self.per_block.values().map(|s| s.ops.len()).sum()
     }
 
     /// Whether the map injects nothing.
@@ -65,7 +131,7 @@ impl InjectionMap {
 
     /// Total bytes added to the text segment (static code footprint delta).
     pub fn injected_bytes(&self) -> u64 {
-        self.per_block.values().flatten().map(|op| u64::from(op.encoded_bytes())).sum()
+        self.per_block.values().flat_map(|s| &s.ops).map(|op| u64::from(op.encoded_bytes())).sum()
     }
 
     /// Static footprint increase relative to a text segment of `text_bytes`.
@@ -80,18 +146,20 @@ impl InjectionMap {
     /// Count of ops by mnemonic, for reporting.
     pub fn op_histogram(&self) -> BTreeMap<&'static str, usize> {
         let mut hist = BTreeMap::new();
-        for ops in self.per_block.values() {
-            for op in ops {
+        for site in self.per_block.values() {
+            for op in &site.ops {
                 *hist.entry(op.mnemonic()).or_insert(0) += 1;
             }
         }
         hist
     }
 
-    /// Merges another map into this one.
+    /// Merges another map into this one, preserving provenance ids.
     pub fn merge(&mut self, other: InjectionMap) {
         for (site, ops) in other.per_block {
-            self.per_block.entry(site).or_default().extend(ops);
+            let entry = self.per_block.entry(site).or_default();
+            entry.ops.extend(ops.ops);
+            entry.ids.extend(ops.ids);
         }
     }
 }
@@ -162,6 +230,27 @@ mod tests {
         a.merge(b);
         assert_eq!(a.ops_at(BlockId(0)).len(), 2);
         assert_eq!(a.num_sites(), 2);
+    }
+
+    #[test]
+    fn traced_ids_stay_aligned_with_ops() {
+        let mut m = InjectionMap::new();
+        m.push_traced(BlockId(1), plain(10), ProvenanceId(0));
+        m.push(BlockId(1), plain(11));
+        m.push_traced(BlockId(1), plain(12), ProvenanceId(2));
+        assert_eq!(m.ids_at(BlockId(1)), &[Some(ProvenanceId(0)), None, Some(ProvenanceId(2))]);
+        assert_eq!(m.ops_at(BlockId(1)).len(), m.ids_at(BlockId(1)).len());
+        assert!(m.ids_at(BlockId(99)).is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_ids() {
+        let mut a = InjectionMap::new();
+        a.push_traced(BlockId(0), plain(1), ProvenanceId(0));
+        let mut b = InjectionMap::new();
+        b.push_traced(BlockId(0), plain(2), ProvenanceId(1));
+        a.merge(b);
+        assert_eq!(a.ids_at(BlockId(0)), &[Some(ProvenanceId(0)), Some(ProvenanceId(1))]);
     }
 
     #[test]

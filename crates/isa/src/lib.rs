@@ -18,7 +18,7 @@
 //! of the rewritten binary the paper deploys.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod context;
 pub mod hash;
@@ -26,5 +26,5 @@ pub mod injection;
 pub mod ops;
 
 pub use context::{ContextHash, HashConfig};
-pub use injection::InjectionMap;
+pub use injection::{InjectionMap, ProvenanceId};
 pub use ops::{CoalesceMask, PrefetchOp};

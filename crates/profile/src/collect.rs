@@ -140,13 +140,18 @@ impl SimObserver for Collector {
 /// assert_eq!(prof.trace_len, 10_000);
 /// ```
 pub fn profile(program: &Program, trace: &Trace, sim_cfg: &SimConfig, rate: SampleRate) -> Profile {
+    let tele = ispy_telemetry::global();
+    let _profile_span = tele.span("profile.collect");
     let mut collector = Collector::new(program.num_blocks(), sim_cfg.lbr_depth, rate);
-    run(
-        program,
-        trace,
-        sim_cfg,
-        RunOptions { observer: Some(&mut collector), ..Default::default() },
-    );
+    {
+        let _span = tele.span("profile.observe_replay");
+        run(
+            program,
+            trace,
+            sim_cfg,
+            RunOptions { observer: Some(&mut collector), ..Default::default() },
+        );
+    }
 
     // Second pass under an ideal I-cache for the per-block *cycle* costs.
     //
@@ -160,12 +165,15 @@ pub fn profile(program: &Program, trace: &Trace, sim_cfg: &SimConfig, rate: Samp
     let mut cycles_collector =
         Collector::new(program.num_blocks(), sim_cfg.lbr_depth, SampleRate::EXACT);
     let ideal_cfg = SimConfig { ideal_icache: true, ..sim_cfg.clone() };
-    let ideal_result = run(
-        program,
-        trace,
-        &ideal_cfg,
-        RunOptions { observer: Some(&mut cycles_collector), ..Default::default() },
-    );
+    let ideal_result = {
+        let _span = tele.span("profile.ideal_replay");
+        run(
+            program,
+            trace,
+            &ideal_cfg,
+            RunOptions { observer: Some(&mut cycles_collector), ..Default::default() },
+        )
+    };
     // Close the last block's cycle interval with the final cycle count.
     if let Some((last, entered)) = cycles_collector.prev {
         cycles_collector.cycles_sum[last.index()] += ideal_result.cycles.saturating_sub(entered);
@@ -177,6 +185,13 @@ pub fn profile(program: &Program, trace: &Trace, sim_cfg: &SimConfig, rate: Samp
         .map(|(&n, &sum)| if n == 0 { 0.0 } else { sum as f64 / n as f64 })
         .collect();
 
+    // Miss-attribution and CFG-size accounting for the observability layer.
+    tele.add("profile.runs", 1);
+    tele.add("profile.misses_recorded", collector.misses.total_misses());
+    tele.add("profile.lines_missing", collector.misses.iter().count() as u64);
+    tele.add("profile.cfg_edges", collector.edges.len() as u64);
+
+    let _cfg_span = tele.span("profile.cfg_build");
     Profile {
         cfg: DynCfg::new(collector.exec, avg_cycles, &collector.edges),
         misses: collector.misses,

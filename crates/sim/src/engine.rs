@@ -26,7 +26,8 @@ use crate::config::SimConfig;
 use crate::hierarchy::Hierarchy;
 use crate::lbr::Lbr;
 use crate::metrics::SimResult;
-use ispy_isa::InjectionMap;
+use crate::outcome::OutcomeLedger;
+use ispy_isa::{InjectionMap, ProvenanceId};
 use ispy_trace::{BlockId, Line, Program, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -69,11 +70,16 @@ pub struct RunOptions<'a> {
     pub hw_prefetcher: Option<&'a mut dyn HwPrefetcher>,
     /// An observer receiving replay events.
     pub observer: Option<&'a mut dyn SimObserver>,
+    /// Collects per-injection outcome counts, bucketed by the provenance ids
+    /// the injection map carries.
+    pub outcomes: Option<&'a mut OutcomeLedger>,
 }
 
-/// In-flight prefetch bookkeeping.
+/// In-flight prefetch bookkeeping. Each entry remembers the provenance id of
+/// the injection that issued it, so completions and late demand hits can be
+/// attributed.
 struct Inflight {
-    by_line: HashMap<u64, u64>,
+    by_line: HashMap<u64, (u64, Option<ProvenanceId>)>,
     queue: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
@@ -82,13 +88,17 @@ impl Inflight {
         Inflight { by_line: HashMap::new(), queue: BinaryHeap::new() }
     }
 
-    fn insert(&mut self, line: Line, completion: u64) {
-        self.by_line.insert(line.raw(), completion);
+    fn insert(&mut self, line: Line, completion: u64, tag: Option<ProvenanceId>) {
+        self.by_line.insert(line.raw(), (completion, tag));
         self.queue.push(Reverse((completion, line.raw())));
     }
 
     fn get(&self, line: Line) -> Option<u64> {
-        self.by_line.get(&line.raw()).copied()
+        self.by_line.get(&line.raw()).map(|&(completion, _)| completion)
+    }
+
+    fn tag(&self, line: Line) -> Option<ProvenanceId> {
+        self.by_line.get(&line.raw()).and_then(|&(_, tag)| tag)
     }
 
     fn remove(&mut self, line: Line) {
@@ -97,17 +107,63 @@ impl Inflight {
     }
 
     /// Pops lines whose prefetch has completed by `now`.
-    fn drain_completed(&mut self, now: u64, mut f: impl FnMut(Line)) {
+    fn drain_completed(&mut self, now: u64, mut f: impl FnMut(Line, Option<ProvenanceId>)) {
         while let Some(&Reverse((completion, raw))) = self.queue.peek() {
             if completion > now {
                 break;
             }
             self.queue.pop();
             // Skip stale entries (line demanded or re-issued meanwhile).
-            if self.by_line.get(&raw) == Some(&completion) {
-                self.by_line.remove(&raw);
-                f(Line::new(raw));
+            if let Some(&(stored, tag)) = self.by_line.get(&raw) {
+                if stored == completion {
+                    self.by_line.remove(&raw);
+                    f(Line::new(raw), tag);
+                }
             }
+        }
+    }
+}
+
+/// Attribution state threaded through a run: the ledger (if requested) and
+/// the owner map from filled-but-untouched prefetch lines to the injection
+/// that fetched them. Both stay empty/inert when no ledger is attached.
+struct Attribution<'a> {
+    ledger: Option<&'a mut OutcomeLedger>,
+    owner: HashMap<u64, ProvenanceId>,
+}
+
+impl Attribution<'_> {
+    fn enabled(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// Records one event against `id`'s bucket (no-op without a ledger).
+    fn note(
+        &mut self,
+        id: Option<ProvenanceId>,
+        f: impl FnOnce(&mut crate::outcome::InjectionOutcome),
+    ) {
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            f(ledger.outcome_mut(id));
+        }
+    }
+
+    /// A prefetch of `line` issued by `tag` completed and filled L1I.
+    fn filled(&mut self, line: Line, tag: Option<ProvenanceId>) {
+        if self.enabled() {
+            if let Some(id) = tag {
+                self.owner.insert(line.raw(), id);
+            }
+        }
+    }
+
+    /// The untouched prefetch of `line` reached its end state (demanded or
+    /// evicted); returns and forgets its owner.
+    fn settle(&mut self, line: Line) -> Option<ProvenanceId> {
+        if self.enabled() {
+            self.owner.remove(&line.raw())
+        } else {
+            None
         }
     }
 }
@@ -149,6 +205,7 @@ pub fn run(
 
     let empty_map = InjectionMap::new();
     let injections = opts.injections.unwrap_or(&empty_map);
+    let mut attr = Attribution { ledger: opts.outcomes.take(), owner: HashMap::new() };
 
     for (idx, block_id) in trace.iter().enumerate() {
         let block = program.block(block_id);
@@ -162,25 +219,41 @@ pub fn run(
         lbr.push(block.start());
 
         // 2. Drain prefetches that completed before this block.
-        inflight.drain_completed(cycle, |line| {
-            if hier.prefetch_fill(line) {
+        inflight.drain_completed(cycle, |line, tag| {
+            attr.filled(line, tag);
+            if let Some(evicted) = hier.prefetch_fill(line) {
                 m.pf_evicted_unused += 1;
+                let owner = attr.settle(evicted);
+                attr.note(owner, |o| o.evicted_unused += 1);
             }
         });
 
         // 3. Execute injected prefetch ops.
         let ops = injections.ops_at(block_id);
+        let ids = injections.ids_at(block_id);
         let mut ops_issued = 0u64;
-        for op in ops {
+        for (op, id) in ops.iter().zip(ids) {
             m.pf_ops_executed += 1;
+            attr.note(*id, |o| o.executed += 1);
             ops_issued += 1;
             if op.fires(lbr.runtime_hash()) {
                 m.pf_ops_fired += 1;
+                attr.note(*id, |o| o.fired += 1);
                 for line in op.target_lines() {
-                    issue_prefetch(&mut hier, &mut inflight, &mut m, cycle, line, cfg);
+                    issue_prefetch(
+                        &mut hier,
+                        &mut inflight,
+                        &mut m,
+                        &mut attr,
+                        cycle,
+                        line,
+                        *id,
+                        cfg,
+                    );
                 }
             } else {
                 m.pf_ops_suppressed += 1;
+                attr.note(*id, |o| o.suppressed += 1);
             }
         }
 
@@ -195,9 +268,19 @@ pub fn run(
                     hier.fetch_instr(line);
                     if was_untouched {
                         m.pf_useful += 1;
+                        let owner = attr.settle(line);
+                        attr.note(owner, |o| o.useful += 1);
                     }
                     hw_prefetch_hook(&mut opts, &mut hw_out, line, false);
-                    issue_hw_lines(&mut hier, &mut inflight, &mut m, cycle, &mut hw_out, cfg);
+                    issue_hw_lines(
+                        &mut hier,
+                        &mut inflight,
+                        &mut m,
+                        &mut attr,
+                        cycle,
+                        &mut hw_out,
+                        cfg,
+                    );
                     continue;
                 }
                 // Miss path.
@@ -207,23 +290,38 @@ pub fn run(
                 }
                 let stall = if let Some(completion) = inflight.get(line) {
                     // Late prefetch: wait only the remaining time.
+                    let tag = inflight.tag(line);
                     inflight.remove(line);
                     m.pf_late += 1;
                     m.pf_useful += 1;
+                    attr.note(tag, |o| {
+                        o.late += 1;
+                        o.useful += 1;
+                    });
                     let remaining = completion.saturating_sub(cycle);
                     hier.fetch_instr(line); // state update; timing overridden
                     remaining
                 } else {
                     let out = hier.fetch_instr(line);
-                    if out.evicted_untouched_prefetch {
+                    if let Some(evicted) = out.evicted_untouched {
                         m.pf_evicted_unused += 1;
+                        let owner = attr.settle(evicted);
+                        attr.note(owner, |o| o.evicted_unused += 1);
                     }
                     u64::from(out.extra_cycles)
                 };
                 m.i_stall_cycles += stall;
                 cycle += stall;
                 hw_prefetch_hook(&mut opts, &mut hw_out, line, true);
-                issue_hw_lines(&mut hier, &mut inflight, &mut m, cycle, &mut hw_out, cfg);
+                issue_hw_lines(
+                    &mut hier,
+                    &mut inflight,
+                    &mut m,
+                    &mut attr,
+                    cycle,
+                    &mut hw_out,
+                    cfg,
+                );
             }
         }
 
@@ -264,40 +362,48 @@ fn hw_prefetch_hook(opts: &mut RunOptions<'_>, hw_out: &mut Vec<Line>, line: Lin
     }
 }
 
-/// Issues the lines a hardware prefetcher requested.
+/// Issues the lines a hardware prefetcher requested (never attributed to a
+/// planned injection — they carry no provenance id).
 fn issue_hw_lines(
     hier: &mut Hierarchy,
     inflight: &mut Inflight,
     m: &mut SimResult,
+    attr: &mut Attribution<'_>,
     cycle: u64,
     hw_out: &mut Vec<Line>,
     cfg: &SimConfig,
 ) {
     for line in hw_out.drain(..) {
-        issue_prefetch(hier, inflight, m, cycle, line, cfg);
+        issue_prefetch(hier, inflight, m, attr, cycle, line, None, cfg);
     }
 }
 
-/// Issues one prefetch line request.
+/// Issues one prefetch line request on behalf of injection `tag`.
+#[allow(clippy::too_many_arguments)]
 fn issue_prefetch(
     hier: &mut Hierarchy,
     inflight: &mut Inflight,
     m: &mut SimResult,
+    attr: &mut Attribution<'_>,
     cycle: u64,
     line: Line,
+    tag: Option<ProvenanceId>,
     _cfg: &SimConfig,
 ) {
     if hier.in_l1i(line) {
         m.pf_lines_resident += 1;
+        attr.note(tag, |o| o.lines_resident += 1);
         return;
     }
     if inflight.get(line).is_some() {
         m.pf_lines_resident += 1;
+        attr.note(tag, |o| o.lines_resident += 1);
         return;
     }
     let latency = hier.prefetch_latency(line);
-    inflight.insert(line, cycle + u64::from(latency));
+    inflight.insert(line, cycle + u64::from(latency), tag);
     m.pf_lines_issued += 1;
+    attr.note(tag, |o| o.lines_issued += 1);
 }
 
 /// Cheap 64-bit mix for deterministic pseudo-random data addresses.
@@ -610,6 +716,117 @@ mod tests {
         assert_eq!(r.i_misses, 0);
         // Accesses are still counted for bookkeeping.
         assert!(r.i_accesses > 0);
+    }
+
+    #[test]
+    fn outcome_ledger_matches_aggregate_counters() {
+        use crate::outcome::OutcomeLedger;
+        use ispy_isa::ProvenanceId;
+        // Build a miss-driven plan as in plain_injection_reduces_misses, but
+        // tag every op with a provenance id and check the ledger's totals
+        // reconcile exactly with the aggregate SimResult counters.
+        let (p, t) = small_app();
+        struct Rec {
+            events: Vec<(usize, Line)>,
+        }
+        impl SimObserver for Rec {
+            fn icache_miss(&mut self, idx: usize, _b: BlockId, line: Line, _c: u64) {
+                self.events.push((idx, line));
+            }
+        }
+        let mut rec = Rec { events: Vec::new() };
+        run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { observer: Some(&mut rec), ..Default::default() },
+        );
+        let mut map = InjectionMap::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut next_id = 0u32;
+        for (idx, line) in rec.events {
+            if idx >= 8 {
+                let site = t.blocks()[idx - 8];
+                if seen.insert((site, line)) {
+                    map.push_traced(
+                        site,
+                        PrefetchOp::Plain { target: line },
+                        ProvenanceId(next_id),
+                    );
+                    next_id += 1;
+                }
+            }
+        }
+        let mut ledger = OutcomeLedger::with_capacity(next_id as usize);
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions {
+                injections: Some(&map),
+                outcomes: Some(&mut ledger),
+                ..Default::default()
+            },
+        );
+        assert_eq!(ledger.per_injection.len(), next_id as usize);
+        assert_eq!(ledger.total(|o| o.executed), r.pf_ops_executed);
+        assert_eq!(ledger.total(|o| o.fired), r.pf_ops_fired);
+        assert_eq!(ledger.total(|o| o.suppressed), r.pf_ops_suppressed);
+        assert_eq!(ledger.total(|o| o.lines_issued), r.pf_lines_issued);
+        assert_eq!(ledger.total(|o| o.lines_resident), r.pf_lines_resident);
+        assert_eq!(ledger.total(|o| o.useful), r.pf_useful);
+        assert_eq!(ledger.total(|o| o.late), r.pf_late);
+        assert_eq!(ledger.total(|o| o.evicted_unused), r.pf_evicted_unused);
+        // Plain ops are tagged, so nothing should land in the untracked bucket.
+        assert_eq!(ledger.untracked, crate::outcome::InjectionOutcome::default());
+        // Per-injection invariant: every execution either fired or was suppressed.
+        for o in &ledger.per_injection {
+            assert_eq!(o.executed, o.fired + o.suppressed);
+        }
+    }
+
+    #[test]
+    fn ledger_routes_hw_prefetches_to_untracked() {
+        use crate::outcome::OutcomeLedger;
+        struct NextLine;
+        impl HwPrefetcher for NextLine {
+            fn on_fetch(&mut self, line: Line, was_miss: bool, out: &mut Vec<Line>) {
+                if was_miss {
+                    out.push(line.offset(1));
+                }
+            }
+        }
+        let (p, t) = small_app();
+        let mut hw = NextLine;
+        let mut ledger = OutcomeLedger::default();
+        let r = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions {
+                hw_prefetcher: Some(&mut hw),
+                outcomes: Some(&mut ledger),
+                ..Default::default()
+            },
+        );
+        assert!(ledger.per_injection.is_empty());
+        assert_eq!(ledger.untracked.lines_issued, r.pf_lines_issued);
+        assert_eq!(ledger.untracked.useful, r.pf_useful);
+    }
+
+    #[test]
+    fn attaching_a_ledger_does_not_change_results() {
+        use crate::outcome::OutcomeLedger;
+        let (p, t) = small_app();
+        let plain = run(&p, &t, &SimConfig::default(), RunOptions::default());
+        let mut ledger = OutcomeLedger::default();
+        let observed = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions { outcomes: Some(&mut ledger), ..Default::default() },
+        );
+        assert_eq!(plain, observed);
     }
 
     #[test]

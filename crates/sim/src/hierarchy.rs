@@ -24,8 +24,10 @@ pub struct AccessOutcome {
     pub level: ResidencyLevel,
     /// Extra stall cycles beyond the L1 hit latency.
     pub extra_cycles: u32,
-    /// An untouched prefetched line was evicted from L1I to make room.
-    pub evicted_untouched_prefetch: bool,
+    /// The untouched prefetched line evicted from L1I to make room, if any.
+    /// Carrying the identity (not just a flag) lets the engine attribute the
+    /// wasted prefetch back to the injection that issued it.
+    pub evicted_untouched: Option<Line>,
 }
 
 /// The simulated cache hierarchy.
@@ -100,7 +102,7 @@ impl Hierarchy {
             return AccessOutcome {
                 level: ResidencyLevel::L1,
                 extra_cycles: 0,
-                evicted_untouched_prefetch: false,
+                evicted_untouched: None,
             };
         }
         let (level, total_lat) = self.lookup_fill_shared(line);
@@ -108,7 +110,7 @@ impl Hierarchy {
         AccessOutcome {
             level,
             extra_cycles: total_lat - self.lat_l1i,
-            evicted_untouched_prefetch: fill.evicted_untouched_prefetch,
+            evicted_untouched: if fill.evicted_untouched_prefetch { fill.evicted } else { None },
         }
     }
 
@@ -118,25 +120,25 @@ impl Hierarchy {
             return AccessOutcome {
                 level: ResidencyLevel::L1,
                 extra_cycles: 0,
-                evicted_untouched_prefetch: false,
+                evicted_untouched: None,
             };
         }
         let (level, total_lat) = self.lookup_fill_shared(line);
         self.l1d.fill(line, InsertPriority::Mru, false);
-        AccessOutcome {
-            level,
-            extra_cycles: total_lat - self.lat_l1d,
-            evicted_untouched_prefetch: false,
-        }
+        AccessOutcome { level, extra_cycles: total_lat - self.lat_l1d, evicted_untouched: None }
     }
 
     /// Completes a prefetch: fills L1I (and L2) at the configured prefetch
-    /// priority, marking the line for usefulness accounting. Returns whether
-    /// an untouched prefetched line was evicted from L1I.
-    pub fn prefetch_fill(&mut self, line: Line) -> bool {
+    /// priority, marking the line for usefulness accounting. Returns the
+    /// untouched prefetched line evicted from L1I to make room, if any.
+    pub fn prefetch_fill(&mut self, line: Line) -> Option<Line> {
         self.l2.fill(line, self.prefetch_insert, true);
         let out = self.l1i.fill(line, self.prefetch_insert, true);
-        out.evicted_untouched_prefetch
+        if out.evicted_untouched_prefetch {
+            out.evicted
+        } else {
+            None
+        }
     }
 
     /// Whether `line` sits in L1I as a not-yet-demanded prefetch.

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod lbr;
 pub mod metrics;
+pub mod outcome;
 
 pub use cache::{Cache, CacheParams, InsertPriority};
 pub use config::{Latencies, SimConfig};
@@ -40,3 +41,4 @@ pub use engine::{run, HwPrefetcher, NoopObserver, RunOptions, SimObserver};
 pub use hierarchy::{Hierarchy, ResidencyLevel};
 pub use lbr::{CountingBloom, Lbr};
 pub use metrics::SimResult;
+pub use outcome::{InjectionOutcome, OutcomeLedger};

@@ -4,30 +4,40 @@
 //! planner baselines) is deterministic regardless of fill order.
 
 use ispy_harness::{figures, Scale, Session, Table};
+use ispy_telemetry::{Telemetry, TimingMode};
 use ispy_trace::apps;
+use std::sync::Arc;
 
 /// Runs every registered figure at the given thread count over a fresh
 /// session (fresh caches each time, so cache-fill order genuinely differs
-/// between runs).
-fn all_tables(threads: usize) -> Vec<Table> {
+/// between runs). Also captures the run's telemetry in its deterministic
+/// rendering — what the counters looked like with all wall times stripped.
+fn all_tables(threads: usize) -> (Vec<Table>, String) {
     ispy_parallel::set_threads(threads);
+    let previous = ispy_telemetry::swap_global(Arc::new(Telemetry::new()));
     let session = Session::with_apps(
         Scale::test(),
         vec![apps::cassandra(), apps::verilator(), apps::wordpress()],
     );
     let tables = figures::all().into_iter().map(|spec| (spec.run)(&session)).collect();
+    let telemetry = ispy_telemetry::swap_global(previous).to_json(TimingMode::Deterministic);
     ispy_parallel::set_threads(0);
-    tables
+    (tables, telemetry)
 }
 
 #[test]
 fn every_figure_is_identical_serial_vs_parallel() {
-    let serial = all_tables(1);
-    let parallel = all_tables(4);
+    let (serial, serial_tele) = all_tables(1);
+    let (parallel, parallel_tele) = all_tables(4);
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s, p, "figure {} differs between 1 and 4 threads", s.id);
         // The JSON export (what `repro --json` writes) matches too.
         assert_eq!(s.to_json(), p.to_json());
     }
+    // Telemetry counters only record order-invariant work (per plan call,
+    // per window search, per cache-key fill), so the deterministic JSON is
+    // byte-identical no matter how the pool scheduled the same work.
+    assert!(serial_tele.contains("core.plan"), "planner work must be visible in telemetry");
+    assert_eq!(serial_tele, parallel_tele, "telemetry must not depend on thread count");
 }

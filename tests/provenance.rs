@@ -1,0 +1,78 @@
+//! Cross-layer provenance guarantees: every planned injection is traceable
+//! from the planner's [`ProvenanceRecord`]s through the injection map into
+//! the simulator's [`OutcomeLedger`], with nothing lost or double-counted.
+
+use ispy_harness::{Scale, Session};
+use ispy_sim::OutcomeLedger;
+use ispy_trace::apps;
+
+fn session() -> Session {
+    Session::with_apps(Scale::test(), vec![apps::cassandra(), apps::kafka()])
+}
+
+#[test]
+fn provenance_ids_are_dense_and_unique_across_the_map() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let cmp = s.comparison(i);
+        let plan = &cmp.ispy_plan;
+        let n = plan.provenance.len();
+        assert_eq!(n, plan.injections.num_ops(), "one record per op");
+        let mut seen = vec![false; n];
+        for (site, ops) in plan.injections.iter() {
+            let ids = plan.injections.ids_at(site);
+            assert_eq!(ids.len(), ops.len(), "ids stay aligned with ops");
+            for id in ids {
+                let id = id.expect("planner ops all carry provenance ids");
+                assert!(!seen[id.index()], "id {} appears twice", id.index());
+                seen[id.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "ids cover 0..{n} with no gaps");
+    }
+}
+
+#[test]
+fn every_runtime_outcome_maps_to_exactly_one_planned_injection() {
+    let s = session();
+    for i in 0..s.apps().len() {
+        let cmp = s.comparison(i);
+        let ledger: &OutcomeLedger = &cmp.ispy_outcomes;
+        let r = &cmp.ispy;
+
+        // The ledger is sized by the plan, and nothing leaked into the
+        // untracked bucket (the default run has no hardware prefetcher).
+        assert_eq!(ledger.per_injection.len(), cmp.ispy_plan.provenance.len());
+        assert_eq!(ledger.untracked, Default::default(), "no unattributed events");
+
+        // Aggregate reconciliation: the per-injection buckets partition the
+        // simulator's own counters exactly.
+        assert_eq!(ledger.total(|o| o.executed), r.pf_ops_executed);
+        assert_eq!(ledger.total(|o| o.fired), r.pf_ops_fired);
+        assert_eq!(ledger.total(|o| o.suppressed), r.pf_ops_suppressed);
+        assert_eq!(ledger.total(|o| o.lines_issued), r.pf_lines_issued);
+        assert_eq!(ledger.total(|o| o.lines_resident), r.pf_lines_resident);
+        assert_eq!(ledger.total(|o| o.useful), r.pf_useful);
+        assert_eq!(ledger.total(|o| o.late), r.pf_late);
+        assert_eq!(ledger.total(|o| o.evicted_unused), r.pf_evicted_unused);
+
+        // Per-injection invariant: an executed op either fired or was
+        // suppressed — never both, never neither.
+        for (k, o) in ledger.per_injection.iter().enumerate() {
+            assert_eq!(o.executed, o.fired + o.suppressed, "injection {k}");
+        }
+        assert!(r.pf_ops_executed > 0, "test scale still executes injections");
+    }
+}
+
+#[test]
+fn outcome_attribution_is_deterministic() {
+    let a = session();
+    let b = session();
+    for i in 0..a.apps().len() {
+        let ca = a.comparison(i);
+        let cb = b.comparison(i);
+        assert_eq!(ca.ispy_plan.provenance, cb.ispy_plan.provenance);
+        assert_eq!(ca.ispy_outcomes, cb.ispy_outcomes);
+    }
+}
