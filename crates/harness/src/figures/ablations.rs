@@ -29,7 +29,7 @@ pub fn replacement(session: &Session) -> Table {
         let ctx = &session.apps()[i];
         let c = session.comparison(i);
         let cfg = SimConfig { prefetch_insert: PRIOS[pi], ..SimConfig::default() };
-        let r = ctx.simulate(&cfg, Some(&c.ispy_plan.injections));
+        let r = ctx.simulate_compiled(&cfg, &c.ispy_compiled);
         r.speedup_over(&c.baseline)
     });
     for (i, ctx) in session.apps().iter().enumerate() {

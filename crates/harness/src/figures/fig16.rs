@@ -40,8 +40,10 @@ pub fn run(session: &Session) -> Table {
         let scfg = SimConfig::default();
         let base = ctx.simulate_variant(k, events, &scfg, None);
         let ideal = ctx.simulate_variant(k, events, &SimConfig::ideal(), None);
-        let asmdb = ctx.simulate_variant(k, events, &scfg, Some(&c.asmdb_plan.injections));
-        let ispy = ctx.simulate_variant(k, events, &scfg, Some(&c.ispy_plan.injections));
+        // The plans were lowered once with the comparison; every drift cell
+        // replays the compiled form instead of re-lowering the BTree map.
+        let asmdb = ctx.simulate_variant_compiled(k, events, &scfg, &c.asmdb_compiled);
+        let ispy = ctx.simulate_variant_compiled(k, events, &scfg, &c.ispy_compiled);
         (asmdb.fraction_of_ideal(&base, &ideal), ispy.fraction_of_ideal(&base, &ideal))
     });
     let mut worst_ispy: f64 = 1.0;

@@ -25,6 +25,7 @@ pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod session;
+pub mod workload;
 
 pub use explain::explain;
 pub use report::Table;

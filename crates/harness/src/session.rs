@@ -79,6 +79,23 @@ impl AppContext {
         run(&self.program, &self.trace, cfg, RunOptions { injections, ..Default::default() })
     }
 
+    /// Runs the prepared trace under `cfg` replaying a pre-lowered plan.
+    /// Sweeps that evaluate one plan under many configurations compile it
+    /// once (see [`ispy_isa::InjectionMap::compile`]) and use this, skipping
+    /// the per-run lowering that [`AppContext::simulate`] performs.
+    pub fn simulate_compiled(
+        &self,
+        cfg: &SimConfig,
+        compiled: &ispy_isa::CompiledInjections,
+    ) -> SimResult {
+        run(
+            &self.program,
+            &self.trace,
+            cfg,
+            RunOptions { compiled: Some(compiled), ..Default::default() },
+        )
+    }
+
     /// Records a trace of input variant `k` (0 = the profiled input) and
     /// runs it with optional injections — the Fig. 16 drift experiment.
     pub fn simulate_variant(
@@ -91,6 +108,24 @@ impl AppContext {
         let input: InputSpec = self.model.input_variant(k);
         let trace = self.program.record_trace(input, events);
         run(&self.program, &trace, cfg, RunOptions { injections, ..Default::default() })
+    }
+
+    /// [`AppContext::simulate_variant`] with a pre-lowered plan.
+    pub fn simulate_variant_compiled(
+        &self,
+        k: usize,
+        events: usize,
+        cfg: &SimConfig,
+        compiled: &ispy_isa::CompiledInjections,
+    ) -> SimResult {
+        let input: InputSpec = self.model.input_variant(k);
+        let trace = self.program.record_trace(input, events);
+        run(
+            &self.program,
+            &trace,
+            cfg,
+            RunOptions { compiled: Some(compiled), ..Default::default() },
+        )
     }
 }
 
@@ -105,10 +140,15 @@ pub struct Comparison {
     pub asmdb: SimResult,
     /// AsmDB plan.
     pub asmdb_plan: Plan,
+    /// AsmDB plan lowered once for replay; sweeps that re-simulate the plan
+    /// (drift inputs, policy ablations) share this instead of re-lowering.
+    pub asmdb_compiled: ispy_isa::CompiledInjections,
     /// I-SPY result (conditional + coalescing).
     pub ispy: SimResult,
     /// I-SPY plan.
     pub ispy_plan: Plan,
+    /// I-SPY plan lowered once for replay (see `asmdb_compiled`).
+    pub ispy_compiled: ispy_isa::CompiledInjections,
     /// Per-injection runtime outcomes for the I-SPY run, indexed by the
     /// provenance ids in [`Plan::provenance`].
     pub ispy_outcomes: OutcomeLedger,
@@ -188,21 +228,33 @@ impl Session {
         let ideal = ctx.simulate(&SimConfig::ideal(), None);
         let asmdb_plan =
             AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
-        let asmdb = ctx.simulate(&scfg, Some(&asmdb_plan.injections));
+        let asmdb_compiled = asmdb_plan.injections.compile(ctx.program.num_blocks());
+        let asmdb = ctx.simulate_compiled(&scfg, &asmdb_compiled);
         let ispy_plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
             .plan_with_baseline(&self.baselines[i]);
+        let ispy_compiled = ispy_plan.injections.compile(ctx.program.num_blocks());
         let mut ispy_outcomes = OutcomeLedger::with_capacity(ispy_plan.provenance.len());
         let ispy = run(
             &ctx.program,
             &ctx.trace,
             &scfg,
             RunOptions {
-                injections: Some(&ispy_plan.injections),
+                compiled: Some(&ispy_compiled),
                 outcomes: Some(&mut ispy_outcomes),
                 ..Default::default()
             },
         );
-        Comparison { baseline, ideal, asmdb, asmdb_plan, ispy, ispy_plan, ispy_outcomes }
+        Comparison {
+            baseline,
+            ideal,
+            asmdb,
+            asmdb_plan,
+            asmdb_compiled,
+            ispy,
+            ispy_plan,
+            ispy_compiled,
+            ispy_outcomes,
+        }
     }
 
     /// Plans and runs an I-SPY configuration variant for app `i` (used by
@@ -278,6 +330,22 @@ mod tests {
                 assert!(Arc::ptr_eq(c, &all[0][i]));
             }
         }
+    }
+
+    #[test]
+    fn compiled_plans_replay_identically_to_maps() {
+        let s = tiny_session();
+        let ctx = &s.apps()[0];
+        let c = s.comparison(0);
+        let scfg = SimConfig::default();
+        // The cached comparison results were produced from the compiled
+        // plans; replaying the raw maps must give byte-identical results.
+        assert_eq!(ctx.simulate(&scfg, Some(&c.asmdb_plan.injections)), c.asmdb);
+        assert_eq!(ctx.simulate(&scfg, Some(&c.ispy_plan.injections)), c.ispy);
+        // And a drift-input replay agrees between the two forms too.
+        let via_map = ctx.simulate_variant(1, 10_000, &scfg, Some(&c.ispy_plan.injections));
+        let via_compiled = ctx.simulate_variant_compiled(1, 10_000, &scfg, &c.ispy_compiled);
+        assert_eq!(via_map, via_compiled);
     }
 
     #[test]

@@ -68,11 +68,18 @@ impl HashConfig {
     }
 
     /// Bit positions (one per hash function) for a block address.
+    #[inline]
     pub fn bit_positions(&self, block_start: Addr) -> [u8; 2] {
         let a = block_start.raw();
-        let b0 = (fnv1_addr(a) % u64::from(self.bits)) as u8;
-        let b1 = (u64::from(murmur3_addr(a)) % u64::from(self.bits)) as u8;
-        [b0, b1]
+        let bits = u64::from(self.bits);
+        // The simulator folds hashes on every LBR push; design-point widths
+        // (16, 32, 64) are powers of two, where the modulo is a mask.
+        if bits.is_power_of_two() {
+            let mask = bits - 1;
+            [(fnv1_addr(a) & mask) as u8, (u64::from(murmur3_addr(a)) & mask) as u8]
+        } else {
+            [(fnv1_addr(a) % bits) as u8, (u64::from(murmur3_addr(a)) % bits) as u8]
+        }
     }
 
     /// The set-bit signature of one block under this configuration.

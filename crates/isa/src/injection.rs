@@ -162,6 +162,115 @@ impl InjectionMap {
             entry.ids.extend(ops.ids);
         }
     }
+
+    /// Lowers the map into its dense, replay-ready form; see
+    /// [`CompiledInjections`]. `min_blocks` (typically
+    /// `Program::num_blocks`) sizes the lookup table so every block the
+    /// trace can reference indexes in bounds.
+    pub fn compile(&self, min_blocks: usize) -> CompiledInjections {
+        CompiledInjections::compile(self, min_blocks)
+    }
+}
+
+/// The dense, replay-ready lowering of an [`InjectionMap`].
+///
+/// Block ids are dense indices, so the per-event `ops_at`/`ids_at` lookups
+/// the simulator performs on *every* trace event can be one bounds-checked
+/// slice index instead of two `BTreeMap` tree walks. All sites' ops (and
+/// their index-aligned provenance ids) live in two contiguous arrays with a
+/// prefix-offset table indexed by `BlockId` — the same layout a compiler's
+/// row-displacement dispatch table would use.
+///
+/// Compiling is `O(sites + blocks)`; sweeps that re-simulate one plan over
+/// many traces (e.g. the Fig. 16 input-drift grid) compile once and pass the
+/// result through [`RunOptions`](../../ispy_sim/struct.RunOptions.html) for
+/// every run.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_isa::{InjectionMap, PrefetchOp};
+/// use ispy_trace::{BlockId, Line};
+///
+/// let mut map = InjectionMap::new();
+/// map.push(BlockId(3), PrefetchOp::Plain { target: Line::new(42) });
+/// let compiled = map.compile(10);
+/// assert_eq!(compiled.ops_at(BlockId(3)), map.ops_at(BlockId(3)));
+/// assert!(compiled.ops_at(BlockId(9)).is_empty());
+/// assert!(compiled.ops_at(BlockId(1_000_000)).is_empty()); // out of range
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledInjections {
+    /// `starts[b]..starts[b + 1]` is block `b`'s range in `ops`/`ids`.
+    starts: Vec<u32>,
+    ops: Vec<PrefetchOp>,
+    ids: Vec<Option<ProvenanceId>>,
+}
+
+impl CompiledInjections {
+    /// Lowers `map` into the dense form; see [`InjectionMap::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map holds more than `u32::MAX` ops (the offset table is
+    /// 32-bit; real plans are orders of magnitude smaller).
+    pub fn compile(map: &InjectionMap, min_blocks: usize) -> Self {
+        let limit = map.per_block.keys().next_back().map_or(0, |b| b.index() + 1).max(min_blocks);
+        let total = map.num_ops();
+        assert!(u32::try_from(total).is_ok(), "injection map too large to compile");
+        let mut starts = vec![0u32; limit + 1];
+        let mut ops = Vec::with_capacity(total);
+        let mut ids = Vec::with_capacity(total);
+        let mut next = 0usize;
+        for (site, s) in &map.per_block {
+            let b = site.index();
+            for slot in &mut starts[next..=b] {
+                *slot = ops.len() as u32;
+            }
+            ops.extend_from_slice(&s.ops);
+            ids.extend_from_slice(&s.ids);
+            next = b + 1;
+        }
+        for slot in &mut starts[next..=limit] {
+            *slot = ops.len() as u32;
+        }
+        CompiledInjections { starts, ops, ids }
+    }
+
+    /// The ops injected at `site` (empty for sites out of range).
+    #[inline]
+    pub fn ops_at(&self, site: BlockId) -> &[PrefetchOp] {
+        self.site(site).0
+    }
+
+    /// The provenance ids at `site`, index-aligned with
+    /// [`CompiledInjections::ops_at`].
+    #[inline]
+    pub fn ids_at(&self, site: BlockId) -> &[Option<ProvenanceId>] {
+        self.site(site).1
+    }
+
+    /// Both per-site slices in one bounds check — the replay engine's
+    /// per-event lookup.
+    #[inline]
+    pub fn site(&self, site: BlockId) -> (&[PrefetchOp], &[Option<ProvenanceId>]) {
+        let b = site.index();
+        if b + 1 >= self.starts.len() {
+            return (&[], &[]);
+        }
+        let (lo, hi) = (self.starts[b] as usize, self.starts[b + 1] as usize);
+        (&self.ops[lo..hi], &self.ids[lo..hi])
+    }
+
+    /// Total number of compiled ops.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the compiled plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
 }
 
 impl FromIterator<(BlockId, PrefetchOp)> for InjectionMap {
@@ -266,5 +375,42 @@ mod tests {
         let m = InjectionMap::new();
         assert!(m.is_empty());
         assert_eq!(m.injected_bytes(), 0);
+    }
+
+    #[test]
+    fn compiled_matches_map_at_every_site() {
+        let mut m = InjectionMap::new();
+        m.push_traced(BlockId(1), plain(10), ProvenanceId(0));
+        m.push(BlockId(1), plain(11));
+        m.push_traced(BlockId(4), plain(12), ProvenanceId(1));
+        m.push(BlockId(9), plain(13));
+        let c = m.compile(12);
+        for b in 0..16u32 {
+            assert_eq!(c.ops_at(BlockId(b)), m.ops_at(BlockId(b)), "ops at B{b}");
+            assert_eq!(c.ids_at(BlockId(b)), m.ids_at(BlockId(b)), "ids at B{b}");
+        }
+        assert_eq!(c.num_ops(), m.num_ops());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn compiled_covers_sites_beyond_min_blocks() {
+        let mut m = InjectionMap::new();
+        m.push(BlockId(20), plain(1));
+        let c = m.compile(4);
+        assert_eq!(c.ops_at(BlockId(20)).len(), 1);
+        assert!(c.ops_at(BlockId(3)).is_empty());
+        assert!(c.ops_at(BlockId(21)).is_empty());
+    }
+
+    #[test]
+    fn compiled_empty_map_is_empty_everywhere() {
+        let c = InjectionMap::new().compile(8);
+        assert!(c.is_empty());
+        assert_eq!(c.num_ops(), 0);
+        assert!(c.ops_at(BlockId(0)).is_empty());
+        let d = CompiledInjections::default();
+        assert!(d.ops_at(BlockId(0)).is_empty());
+        assert!(d.ids_at(BlockId(7)).is_empty());
     }
 }

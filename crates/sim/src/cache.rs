@@ -53,15 +53,6 @@ pub enum InsertPriority {
     Lru,
 }
 
-/// Metadata carried per resident line, used for prefetch-usefulness
-/// accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Entry {
-    line: Line,
-    /// Line was brought in by a prefetch and has not been demanded yet.
-    prefetched_untouched: bool,
-}
-
 /// Outcome of [`Cache::fill`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FillOutcome {
@@ -73,9 +64,14 @@ pub struct FillOutcome {
 
 /// A set-associative cache over [`Line`] addresses.
 ///
-/// Each set is a recency-ordered stack (`Vec`), index 0 = MRU. This keeps the
-/// model simple and exact; associativities here are ≤ 20 so linear scans are
-/// fast.
+/// Storage is one flat `sets × ways` array of packed slots plus a per-set
+/// occupancy count; each set's occupied prefix is a recency-ordered stack
+/// (offset 0 = MRU). A slot packs `line << 1 | untouched_prefetch_flag`, so
+/// recency updates are in-place 8-byte slice rotations instead of `Vec`
+/// element shifts, and the whole working set of a small cache stays in a few
+/// hardware cache lines. The set-index divisor is precomputed once (a mask
+/// for the usual power-of-two set counts); associativities here are ≤ 20 so
+/// linear scans are fast.
 ///
 /// # Examples
 ///
@@ -91,14 +87,37 @@ pub struct FillOutcome {
 #[derive(Debug, Clone)]
 pub struct Cache {
     params: CacheParams,
-    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two (`u64::MAX`
+    /// sentinel otherwise, in which case indexing falls back to `%`).
+    set_mask: u64,
+    /// Packed `line << 1 | untouched` slots, `ways` per set.
+    slots: Vec<u64>,
+    /// Occupied prefix length of each set.
+    occ: Vec<u32>,
+}
+
+/// Packs a line and its untouched-prefetch flag into one slot word.
+#[inline]
+fn pack(line: Line, untouched: bool) -> u64 {
+    (line.raw() << 1) | u64::from(untouched)
 }
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(params: CacheParams) -> Self {
-        let sets = vec![Vec::with_capacity(params.ways as usize); params.num_sets() as usize];
-        Cache { params, sets }
+        let num_sets = params.num_sets();
+        let ways = params.ways as usize;
+        let set_mask = if num_sets.is_power_of_two() { num_sets - 1 } else { u64::MAX };
+        Cache {
+            params,
+            ways,
+            num_sets,
+            set_mask,
+            slots: vec![0; num_sets as usize * ways],
+            occ: vec![0; num_sets as usize],
+        }
     }
 
     /// The cache's geometry.
@@ -106,68 +125,109 @@ impl Cache {
         &self.params
     }
 
+    #[inline]
     fn set_index(&self, line: Line) -> usize {
-        (line.raw() % self.params.num_sets()) as usize
+        let raw = line.raw();
+        let idx = if self.set_mask != u64::MAX { raw & self.set_mask } else { raw % self.num_sets };
+        idx as usize
+    }
+
+    /// The occupied prefix of `line`'s set, MRU first.
+    #[inline]
+    fn set_of(&self, line: Line) -> &[u64] {
+        let si = self.set_index(line);
+        let base = si * self.ways;
+        &self.slots[base..base + self.occ[si] as usize]
     }
 
     /// Demand access: returns `true` on hit and promotes the line to MRU,
-    /// clearing its untouched-prefetch flag.
+    /// clearing its untouched-prefetch flag. See [`Cache::demand`] for the
+    /// variant that reports the cleared flag.
     pub fn access(&mut self, line: Line) -> bool {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.line == line) {
-            let mut e = set.remove(pos);
-            e.prefetched_untouched = false;
-            set.insert(0, e);
-            true
-        } else {
-            false
-        }
+        self.demand(line).is_some()
+    }
+
+    /// Demand access returning `Some(was_untouched_prefetch)` on hit — the
+    /// hit is promoted to MRU and its flag cleared in the same single scan.
+    #[inline]
+    pub fn demand(&mut self, line: Line) -> Option<bool> {
+        let si = self.set_index(line);
+        let base = si * self.ways;
+        let set = &mut self.slots[base..base + self.occ[si] as usize];
+        let raw = line.raw();
+        let pos = set.iter().position(|&s| s >> 1 == raw)?;
+        let was_untouched = set[pos] & 1 == 1;
+        set[..=pos].rotate_right(1);
+        set[0] = raw << 1;
+        Some(was_untouched)
     }
 
     /// Whether the line is resident, without touching recency or flags.
+    #[inline]
     pub fn contains(&self, line: Line) -> bool {
-        let idx = self.set_index(line);
-        self.sets[idx].iter().any(|e| e.line == line)
+        let raw = line.raw();
+        self.set_of(line).iter().any(|&s| s >> 1 == raw)
     }
 
     /// Whether the line is resident as an untouched prefetch.
     pub fn is_untouched_prefetch(&self, line: Line) -> bool {
-        let idx = self.set_index(line);
-        self.sets[idx].iter().any(|e| e.line == line && e.prefetched_untouched)
+        let key = pack(line, true);
+        self.set_of(line).contains(&key)
     }
 
     /// Inserts a line at the given priority; `prefetched` marks it for
     /// usefulness accounting. Re-filling a resident line only updates its
     /// position/flag.
     pub fn fill(&mut self, line: Line, priority: InsertPriority, prefetched: bool) -> FillOutcome {
-        let ways = self.params.ways as usize;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        let existing = set.iter().position(|e| e.line == line).map(|pos| set.remove(pos));
-        let entry = existing.unwrap_or(Entry { line, prefetched_untouched: prefetched });
+        let ways = self.ways;
+        let si = self.set_index(line);
+        let base = si * self.ways;
+        let mut occ = self.occ[si] as usize;
+        let raw = line.raw();
+
+        // Remove an existing copy (keeping its flag) so the re-fill only
+        // moves it.
+        let mut entry = None;
+        {
+            let set = &mut self.slots[base..base + occ];
+            if let Some(pos) = set.iter().position(|&s| s >> 1 == raw) {
+                entry = Some(set[pos]);
+                set[pos..].rotate_left(1);
+                occ -= 1;
+            }
+        }
+        let entry = entry.unwrap_or_else(|| pack(line, prefetched));
 
         let mut outcome = FillOutcome { evicted: None, evicted_untouched_prefetch: false };
-        if set.len() >= ways {
-            let victim = set.pop().expect("full set has a victim");
-            outcome.evicted = Some(victim.line);
-            outcome.evicted_untouched_prefetch = victim.prefetched_untouched;
+        if occ >= ways {
+            let victim = self.slots[base + occ - 1];
+            outcome.evicted = Some(Line::new(victim >> 1));
+            outcome.evicted_untouched_prefetch = victim & 1 == 1;
+            occ -= 1;
         }
         let pos = match priority {
             InsertPriority::Mru => 0,
             InsertPriority::Half => ways / 2,
-            InsertPriority::Lru => set.len(),
-        };
-        set.insert(pos.min(set.len()), entry);
+            InsertPriority::Lru => occ,
+        }
+        .min(occ);
+        let set = &mut self.slots[base..base + occ + 1];
+        set[pos..].rotate_right(1);
+        set[pos] = entry;
+        self.occ[si] = (occ + 1) as u32;
         outcome
     }
 
     /// Removes a line if resident; returns whether it was present.
     pub fn invalidate(&mut self, line: Line) -> bool {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.line == line) {
-            set.remove(pos);
+        let si = self.set_index(line);
+        let base = si * self.ways;
+        let occ = self.occ[si] as usize;
+        let set = &mut self.slots[base..base + occ];
+        let raw = line.raw();
+        if let Some(pos) = set.iter().position(|&s| s >> 1 == raw) {
+            set[pos..].rotate_left(1);
+            self.occ[si] = (occ - 1) as u32;
             true
         } else {
             false
@@ -176,14 +236,12 @@ impl Cache {
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> u64 {
-        self.sets.iter().map(|s| s.len() as u64).sum()
+        self.occ.iter().map(|&n| u64::from(n)).sum()
     }
 
     /// Clears all contents.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.occ.fill(0);
     }
 }
 
@@ -299,5 +357,129 @@ mod tests {
         c.fill(Line::new(1), InsertPriority::Mru, false);
         c.clear();
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn demand_reports_and_clears_untouched_flag() {
+        let mut c = tiny();
+        let l = Line::new(4);
+        assert_eq!(c.demand(l), None);
+        c.fill(l, InsertPriority::Half, true);
+        assert_eq!(c.demand(l), Some(true));
+        assert_eq!(c.demand(l), Some(false), "flag cleared by the first demand");
+    }
+
+    /// Naive recency-stack model (the pre-rework `Vec<Vec<Entry>>` cache),
+    /// kept as the behavioural reference the flat layout must match.
+    struct RefCache {
+        ways: usize,
+        num_sets: u64,
+        sets: Vec<Vec<(u64, bool)>>,
+    }
+
+    impl RefCache {
+        fn new(p: CacheParams) -> Self {
+            RefCache {
+                ways: p.ways as usize,
+                num_sets: p.num_sets(),
+                sets: vec![Vec::new(); p.num_sets() as usize],
+            }
+        }
+
+        fn set(&mut self, line: Line) -> &mut Vec<(u64, bool)> {
+            let idx = (line.raw() % self.num_sets) as usize;
+            &mut self.sets[idx]
+        }
+
+        fn demand(&mut self, line: Line) -> Option<bool> {
+            let raw = line.raw();
+            let set = self.set(line);
+            let pos = set.iter().position(|e| e.0 == raw)?;
+            let e = set.remove(pos);
+            set.insert(0, (raw, false));
+            Some(e.1)
+        }
+
+        fn fill(&mut self, line: Line, priority: InsertPriority, prefetched: bool) -> FillOutcome {
+            let ways = self.ways;
+            let raw = line.raw();
+            let set = self.set(line);
+            let existing = set.iter().position(|e| e.0 == raw).map(|pos| set.remove(pos));
+            let entry = existing.unwrap_or((raw, prefetched));
+            let mut outcome = FillOutcome { evicted: None, evicted_untouched_prefetch: false };
+            if set.len() >= ways {
+                let victim = set.pop().expect("full set has a victim");
+                outcome.evicted = Some(Line::new(victim.0));
+                outcome.evicted_untouched_prefetch = victim.1;
+            }
+            let pos = match priority {
+                InsertPriority::Mru => 0,
+                InsertPriority::Half => ways / 2,
+                InsertPriority::Lru => set.len(),
+            };
+            set.insert(pos.min(set.len()), entry);
+            outcome
+        }
+
+        fn invalidate(&mut self, line: Line) -> bool {
+            let raw = line.raw();
+            let set = self.set(line);
+            if let Some(pos) = set.iter().position(|e| e.0 == raw) {
+                set.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn flat_cache_matches_reference_model() {
+        // Drive both implementations with the same pseudo-random op stream
+        // (power-of-two and non-power-of-two set counts) and require
+        // identical observable behaviour at every step.
+        for params in [
+            CacheParams { size_bytes: 8 * 64, ways: 2, line_bytes: 64 },
+            CacheParams { size_bytes: 24 * 64, ways: 4, line_bytes: 64 }, // 6 sets: not pow2
+            CacheParams::new(4 * 1024, 8),
+        ] {
+            let mut flat = Cache::new(params);
+            let mut reference = RefCache::new(params);
+            let mut state = 0x2545F4914F6CDD1Du64;
+            for step in 0..20_000u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let line = Line::new(state % 64);
+                let prio = match state >> 8 & 3 {
+                    0 => InsertPriority::Mru,
+                    1 => InsertPriority::Half,
+                    _ => InsertPriority::Lru,
+                };
+                match state >> 16 & 3 {
+                    0 => assert_eq!(
+                        flat.demand(line),
+                        reference.demand(line),
+                        "demand diverged at step {step} ({params:?})"
+                    ),
+                    1 => assert_eq!(
+                        flat.fill(line, prio, state >> 24 & 1 == 1),
+                        reference.fill(line, prio, state >> 24 & 1 == 1),
+                        "fill diverged at step {step} ({params:?})"
+                    ),
+                    2 => assert_eq!(flat.invalidate(line), reference.invalidate(line)),
+                    _ => {
+                        assert_eq!(
+                            flat.contains(line),
+                            reference.set(line).iter().any(|e| e.0 == line.raw())
+                        );
+                        assert_eq!(
+                            flat.is_untouched_prefetch(line),
+                            reference.set(line).iter().any(|e| e.0 == line.raw() && e.1)
+                        );
+                    }
+                }
+            }
+        }
     }
 }

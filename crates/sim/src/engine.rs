@@ -23,14 +23,15 @@
 //! ideal), which is also how the paper reports its evaluation.
 
 use crate::config::SimConfig;
+use crate::fxhash::FxHashMap;
 use crate::hierarchy::Hierarchy;
 use crate::lbr::Lbr;
 use crate::metrics::SimResult;
 use crate::outcome::OutcomeLedger;
-use ispy_isa::{InjectionMap, ProvenanceId};
-use ispy_trace::{BlockId, Line, Program, Trace};
+use ispy_isa::{CompiledInjections, InjectionMap, PrefetchOp, ProvenanceId};
+use ispy_trace::{Addr, BlockId, Line, Program, Trace};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Data lines live in a disjoint address range from code lines.
 const DATA_LINE_BASE: u64 = 1 << 40;
@@ -66,6 +67,11 @@ pub trait HwPrefetcher {
 pub struct RunOptions<'a> {
     /// Injected code-prefetch instructions (the rewritten binary).
     pub injections: Option<&'a InjectionMap>,
+    /// A pre-lowered injection plan (see [`InjectionMap::compile`]). When
+    /// set it takes precedence over `injections`; callers replaying the same
+    /// plan across many configurations (the figure sweeps) compile once and
+    /// pass it here to skip the per-run lowering.
+    pub compiled: Option<&'a CompiledInjections>,
     /// A hardware prefetcher observing the fetch stream.
     pub hw_prefetcher: Option<&'a mut dyn HwPrefetcher>,
     /// An observer receiving replay events.
@@ -79,31 +85,71 @@ pub struct RunOptions<'a> {
 /// the injection that issued it, so completions and late demand hits can be
 /// attributed.
 struct Inflight {
-    by_line: HashMap<u64, (u64, Option<ProvenanceId>)>,
+    by_line: FxHashMap<u64, (u64, Option<ProvenanceId>)>,
     queue: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Heap entries whose line is no longer (or differently) in flight.
+    /// Tracked so the heap can be rebuilt before stale entries dominate it:
+    /// a demand-heavy run would otherwise grow the heap without bound.
+    stale: usize,
 }
+
+/// Compact the completion heap once it holds at least this many entries and
+/// stale ones are the majority. Small enough to bound memory on pathological
+/// traces, large enough that compaction is rare in healthy ones.
+const INFLIGHT_COMPACT_MIN: usize = 64;
 
 impl Inflight {
     fn new() -> Self {
-        Inflight { by_line: HashMap::new(), queue: BinaryHeap::new() }
+        Inflight { by_line: FxHashMap::default(), queue: BinaryHeap::new(), stale: 0 }
     }
 
     fn insert(&mut self, line: Line, completion: u64, tag: Option<ProvenanceId>) {
-        self.by_line.insert(line.raw(), (completion, tag));
+        if self.by_line.insert(line.raw(), (completion, tag)).is_some() {
+            self.note_stale();
+        }
         self.queue.push(Reverse((completion, line.raw())));
     }
 
+    #[inline]
     fn get(&self, line: Line) -> Option<u64> {
+        if self.by_line.is_empty() {
+            return None;
+        }
         self.by_line.get(&line.raw()).map(|&(completion, _)| completion)
     }
 
+    #[inline]
     fn tag(&self, line: Line) -> Option<ProvenanceId> {
+        if self.by_line.is_empty() {
+            return None;
+        }
         self.by_line.get(&line.raw()).and_then(|&(_, tag)| tag)
     }
 
     fn remove(&mut self, line: Line) {
-        self.by_line.remove(&line.raw());
         // The heap entry becomes stale and is skipped when popped.
+        if !self.by_line.is_empty() && self.by_line.remove(&line.raw()).is_some() {
+            self.note_stale();
+        }
+    }
+
+    fn note_stale(&mut self) {
+        self.stale += 1;
+        if self.queue.len() >= INFLIGHT_COMPACT_MIN && self.stale * 2 > self.queue.len() {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the heap from the live map. Pop order afterwards is
+    /// unchanged: it is fully determined by the unique `(completion, line)`
+    /// keys, never by insertion order.
+    fn compact(&mut self) {
+        self.queue = self
+            .by_line
+            .iter()
+            .map(|(&raw, &(completion, _))| Reverse((completion, raw)))
+            .collect();
+        self.stale = 0;
     }
 
     /// Pops lines whose prefetch has completed by `now`.
@@ -114,11 +160,12 @@ impl Inflight {
             }
             self.queue.pop();
             // Skip stale entries (line demanded or re-issued meanwhile).
-            if let Some(&(stored, tag)) = self.by_line.get(&raw) {
-                if stored == completion {
+            match self.by_line.get(&raw) {
+                Some(&(stored, tag)) if stored == completion => {
                     self.by_line.remove(&raw);
                     f(Line::new(raw), tag);
                 }
+                _ => self.stale = self.stale.saturating_sub(1),
             }
         }
     }
@@ -129,7 +176,7 @@ impl Inflight {
 /// that fetched them. Both stay empty/inert when no ledger is attached.
 struct Attribution<'a> {
     ledger: Option<&'a mut OutcomeLedger>,
-    owner: HashMap<u64, ProvenanceId>,
+    owner: FxHashMap<u64, ProvenanceId>,
 }
 
 impl Attribution<'_> {
@@ -160,12 +207,39 @@ impl Attribution<'_> {
     /// The untouched prefetch of `line` reached its end state (demanded or
     /// evicted); returns and forgets its owner.
     fn settle(&mut self, line: Line) -> Option<ProvenanceId> {
-        if self.enabled() {
-            self.owner.remove(&line.raw())
-        } else {
+        if self.owner.is_empty() {
             None
+        } else {
+            self.owner.remove(&line.raw())
         }
     }
+}
+
+/// Per-block facts the replay loop consults on every event, precomputed once
+/// per run so the hot loop never re-derives line spans from byte addresses.
+struct BlockMeta {
+    start: Addr,
+    first_line: u64,
+    last_line: u64,
+    instrs: u64,
+    data_accesses: u32,
+}
+
+fn block_metas(program: &Program) -> Vec<BlockMeta> {
+    program
+        .blocks()
+        .iter()
+        .map(|b| {
+            let first_line = b.first_line().raw();
+            BlockMeta {
+                start: b.start(),
+                first_line,
+                last_line: first_line + b.line_count() - 1,
+                instrs: u64::from(b.instrs()),
+                data_accesses: u32::from(b.data_accesses()),
+            }
+        })
+        .collect()
 }
 
 /// Replays `trace` through the simulated machine.
@@ -203,12 +277,28 @@ pub fn run(
     let mut stream_counter: u64 = 0;
     let stream_threshold = (cfg.d_stream_frac * 100.0) as u64;
 
-    let empty_map = InjectionMap::new();
-    let injections = opts.injections.unwrap_or(&empty_map);
-    let mut attr = Attribution { ledger: opts.outcomes.take(), owner: HashMap::new() };
+    // Lower the injection plan into its dense compiled form unless the
+    // caller already did (sweeps reuse one compiled plan across many runs).
+    let compiled_storage;
+    let injections: &CompiledInjections = match opts.compiled {
+        Some(c) => c,
+        None => {
+            compiled_storage = match opts.injections {
+                Some(map) if !map.is_empty() => map.compile(program.num_blocks()),
+                _ => CompiledInjections::default(),
+            };
+            &compiled_storage
+        }
+    };
+    let mut attr = Attribution { ledger: opts.outcomes.take(), owner: FxHashMap::default() };
+    let metas = block_metas(program);
+    // Shadow the code-line range (plus slack for next-line prefetchers past
+    // the last block); prefetches of lines beyond it use the scan path.
+    let max_code_line = metas.iter().map(|b| b.last_line).max().unwrap_or(0);
+    hier.enable_l1i_shadow(max_code_line + 65);
 
     for (idx, block_id) in trace.iter().enumerate() {
-        let block = program.block(block_id);
+        let meta = &metas[block_id.index()];
         m.blocks += 1;
 
         if let Some(obs) = opts.observer.as_deref_mut() {
@@ -216,7 +306,7 @@ pub fn run(
         }
 
         // 1. Retire the branch into this block.
-        lbr.push(block.start());
+        lbr.push(meta.start);
 
         // 2. Drain prefetches that completed before this block.
         inflight.drain_completed(cycle, |line, tag| {
@@ -229,27 +319,53 @@ pub fn run(
         });
 
         // 3. Execute injected prefetch ops.
-        let ops = injections.ops_at(block_id);
-        let ids = injections.ids_at(block_id);
-        let mut ops_issued = 0u64;
+        let (ops, ids) = injections.site(block_id);
+        let ops_issued = ops.len() as u64;
+        m.pf_ops_executed += ops_issued;
+        let runtime_hash = lbr.runtime_hash();
         for (op, id) in ops.iter().zip(ids) {
-            m.pf_ops_executed += 1;
             attr.note(*id, |o| o.executed += 1);
-            ops_issued += 1;
-            if op.fires(lbr.runtime_hash()) {
+            if op.fires(runtime_hash) {
                 m.pf_ops_fired += 1;
                 attr.note(*id, |o| o.fired += 1);
-                for line in op.target_lines() {
-                    issue_prefetch(
-                        &mut hier,
-                        &mut inflight,
-                        &mut m,
-                        &mut attr,
-                        cycle,
-                        line,
-                        *id,
-                        cfg,
-                    );
+                // Issue the target lines base-first, without materialising
+                // the `target_lines()` Vec (this is the injected-replay
+                // hot path; one heap allocation per firing dominated it).
+                match op {
+                    PrefetchOp::Plain { target } | PrefetchOp::Cond { target, .. } => {
+                        issue_prefetch(
+                            &mut hier,
+                            &mut inflight,
+                            &mut m,
+                            &mut attr,
+                            cycle,
+                            *target,
+                            *id,
+                        );
+                    }
+                    PrefetchOp::Coalesced { base, mask }
+                    | PrefetchOp::CondCoalesced { base, mask, .. } => {
+                        issue_prefetch(
+                            &mut hier,
+                            &mut inflight,
+                            &mut m,
+                            &mut attr,
+                            cycle,
+                            *base,
+                            *id,
+                        );
+                        for line in mask.decode(*base) {
+                            issue_prefetch(
+                                &mut hier,
+                                &mut inflight,
+                                &mut m,
+                                &mut attr,
+                                cycle,
+                                line,
+                                *id,
+                            );
+                        }
+                    }
                 }
             } else {
                 m.pf_ops_suppressed += 1;
@@ -259,28 +375,21 @@ pub fn run(
 
         // 4. Fetch the block's instruction lines.
         if cfg.ideal_icache {
-            m.i_accesses += block.line_count();
+            m.i_accesses += meta.last_line - meta.first_line + 1;
         } else {
-            for line in block.lines() {
+            for raw in meta.first_line..=meta.last_line {
+                let line = Line::new(raw);
                 m.i_accesses += 1;
-                if hier.in_l1i(line) {
-                    let was_untouched = hier.is_untouched_prefetch(line);
-                    hier.fetch_instr(line);
+                // Fast path: one L1I set scan resolves residency, promotes
+                // the line, and reports whether it was an untouched prefetch.
+                if let Some(was_untouched) = hier.fetch_instr_hit(line) {
                     if was_untouched {
                         m.pf_useful += 1;
                         let owner = attr.settle(line);
                         attr.note(owner, |o| o.useful += 1);
                     }
                     hw_prefetch_hook(&mut opts, &mut hw_out, line, false);
-                    issue_hw_lines(
-                        &mut hier,
-                        &mut inflight,
-                        &mut m,
-                        &mut attr,
-                        cycle,
-                        &mut hw_out,
-                        cfg,
-                    );
+                    issue_hw_lines(&mut hier, &mut inflight, &mut m, &mut attr, cycle, &mut hw_out);
                     continue;
                 }
                 // Miss path.
@@ -299,10 +408,10 @@ pub fn run(
                         o.useful += 1;
                     });
                     let remaining = completion.saturating_sub(cycle);
-                    hier.fetch_instr(line); // state update; timing overridden
+                    hier.fetch_instr_miss(line); // state update; timing overridden
                     remaining
                 } else {
-                    let out = hier.fetch_instr(line);
+                    let out = hier.fetch_instr_miss(line);
                     if let Some(evicted) = out.evicted_untouched {
                         m.pf_evicted_unused += 1;
                         let owner = attr.settle(evicted);
@@ -313,20 +422,12 @@ pub fn run(
                 m.i_stall_cycles += stall;
                 cycle += stall;
                 hw_prefetch_hook(&mut opts, &mut hw_out, line, true);
-                issue_hw_lines(
-                    &mut hier,
-                    &mut inflight,
-                    &mut m,
-                    &mut attr,
-                    cycle,
-                    &mut hw_out,
-                    cfg,
-                );
+                issue_hw_lines(&mut hier, &mut inflight, &mut m, &mut attr, cycle, &mut hw_out);
             }
         }
 
         // 5. Data side.
-        for k in 0..block.data_accesses() {
+        for k in 0..meta.data_accesses {
             m.d_accesses += 1;
             let site = mix(u64::from(block_id.0), u64::from(k));
             let line = if site % 100 < stream_threshold {
@@ -345,7 +446,7 @@ pub fn run(
         }
 
         // 6. Issue bandwidth.
-        let instrs = u64::from(block.instrs());
+        let instrs = meta.instrs;
         m.base_instrs += instrs;
         m.instrs += instrs + ops_issued;
         cycle += (instrs + ops_issued).div_ceil(u64::from(cfg.issue_width));
@@ -371,15 +472,18 @@ fn issue_hw_lines(
     attr: &mut Attribution<'_>,
     cycle: u64,
     hw_out: &mut Vec<Line>,
-    cfg: &SimConfig,
 ) {
+    if hw_out.is_empty() {
+        return;
+    }
     for line in hw_out.drain(..) {
-        issue_prefetch(hier, inflight, m, attr, cycle, line, None, cfg);
+        issue_prefetch(hier, inflight, m, attr, cycle, line, None);
     }
 }
 
 /// Issues one prefetch line request on behalf of injection `tag`.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 fn issue_prefetch(
     hier: &mut Hierarchy,
     inflight: &mut Inflight,
@@ -388,7 +492,6 @@ fn issue_prefetch(
     cycle: u64,
     line: Line,
     tag: Option<ProvenanceId>,
-    _cfg: &SimConfig,
 ) {
     if hier.in_l1i(line) {
         m.pf_lines_resident += 1;
@@ -400,7 +503,7 @@ fn issue_prefetch(
         attr.note(tag, |o| o.lines_resident += 1);
         return;
     }
-    let latency = hier.prefetch_latency(line);
+    let latency = hier.prefetch_latency_missing_l1i(line);
     inflight.insert(line, cycle + u64::from(latency), tag);
     m.pf_lines_issued += 1;
     attr.note(tag, |o| o.lines_issued += 1);
@@ -827,6 +930,91 @@ mod tests {
             RunOptions { outcomes: Some(&mut ledger), ..Default::default() },
         );
         assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn inflight_stale_heap_stays_bounded() {
+        // A line demanded before its prefetch completes leaves a stale heap
+        // entry behind; compaction must keep the heap proportional to the
+        // *live* in-flight set, not to the total number of such events.
+        let mut inf = Inflight::new();
+        for i in 0..100_000u64 {
+            let line = Line::new(i % 16);
+            inf.insert(line, i + 1_000, None);
+            inf.remove(line); // demand hit while in flight
+        }
+        assert!(inf.by_line.is_empty());
+        assert!(
+            inf.queue.len() < 2 * INFLIGHT_COMPACT_MIN,
+            "stale entries must be compacted away, heap holds {}",
+            inf.queue.len()
+        );
+    }
+
+    #[test]
+    fn inflight_compaction_preserves_drain_order() {
+        let mut inf = Inflight::new();
+        for i in 0..200u64 {
+            inf.insert(Line::new(i), 1_000 - i, None);
+        }
+        // Invalidate every other line, forcing at least one compaction.
+        for i in (0..200u64).step_by(2) {
+            inf.remove(Line::new(i));
+        }
+        let mut drained = Vec::new();
+        inf.drain_completed(u64::MAX, |line, _| drained.push(line.raw()));
+        let expected: Vec<u64> = (0..200u64).filter(|i| i % 2 == 1).rev().collect();
+        assert_eq!(drained, expected, "completion order must survive compaction");
+    }
+
+    #[test]
+    fn precompiled_plan_matches_map_lowering() {
+        use crate::outcome::OutcomeLedger;
+        use ispy_isa::{CoalesceMask, ProvenanceId};
+        // Passing a pre-compiled plan must be byte-identical to handing the
+        // engine the raw map, across all four op kinds and the ledger.
+        let (p, t) = small_app();
+        let hash = SimConfig::default().hash;
+        let mut map = InjectionMap::new();
+        for (n, idx) in (0..t.blocks().len()).step_by(97).enumerate() {
+            let site = t.blocks()[idx];
+            let target = Line::new(0x5000 + n as u64 * 3);
+            let ctx = hash.context_hash([p.block(site).start()]);
+            let mask = CoalesceMask::from_bits(0b1011, 8);
+            let op = match n % 4 {
+                0 => PrefetchOp::Plain { target },
+                1 => PrefetchOp::Cond { target, ctx },
+                2 => PrefetchOp::Coalesced { base: target, mask },
+                _ => PrefetchOp::CondCoalesced { base: target, mask, ctx },
+            };
+            map.push_traced(site, op, ProvenanceId(n as u32));
+        }
+        let mut ledger_map = OutcomeLedger::default();
+        let via_map = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions {
+                injections: Some(&map),
+                outcomes: Some(&mut ledger_map),
+                ..Default::default()
+            },
+        );
+        let compiled = map.compile(p.num_blocks());
+        let mut ledger_pre = OutcomeLedger::default();
+        let via_compiled = run(
+            &p,
+            &t,
+            &SimConfig::default(),
+            RunOptions {
+                compiled: Some(&compiled),
+                outcomes: Some(&mut ledger_pre),
+                ..Default::default()
+            },
+        );
+        assert_eq!(via_map, via_compiled);
+        assert_eq!(ledger_map, ledger_pre);
+        assert!(via_map.pf_ops_executed > 0);
     }
 
     #[test]

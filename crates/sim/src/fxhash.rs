@@ -1,0 +1,107 @@
+//! An in-tree FxHash-style hasher for the engine's hot maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 — keyed and DoS-resistant,
+//! but ~10× the cost of a multiply for the 8-byte keys the replay engine
+//! hashes on every in-flight-prefetch lookup. This is the usual
+//! multiply-and-rotate construction (as popularised by the `rustc-hash`
+//! crate, which the offline build environment cannot fetch): fast, fixed-key,
+//! and perfectly adequate for line addresses, which are simulator-internal
+//! and not attacker-controlled.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio multiplier (2⁶⁴ / φ), the classic Fibonacci-hashing constant.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, fixed-key hasher for small simulator-internal keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast fixed-key hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_iterate_all_entries() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 64, k);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 64)), Some(&k));
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads_aligned_keys() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        // Line addresses are low-entropy sequential integers; the hash must
+        // not collapse them onto a few buckets.
+        let mut low_bits = std::collections::HashSet::new();
+        for k in 0..256u64 {
+            low_bits.insert(b.hash_one(k) & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_whole_words() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let mut h1 = b.build_hasher();
+        h1.write(&0xDEAD_BEEFu64.to_le_bytes());
+        let mut h2 = b.build_hasher();
+        h2.write_u64(0xDEAD_BEEF);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -48,7 +48,20 @@ pub struct Hierarchy {
     lat_l3: u32,
     lat_mem: u32,
     prefetch_insert: InsertPriority,
+    /// Exact presence bitmap mirroring L1I contents for lines below
+    /// `shadow_limit`, maintained at the (rare) fill/evict points so the
+    /// (frequent) [`Hierarchy::in_l1i`] probes are a bit test instead of a
+    /// set scan. Empty when disabled; lines at/above the limit fall back to
+    /// scanning the cache, so the shadow is never a correctness question —
+    /// only a fast path.
+    l1i_shadow: Vec<u64>,
+    shadow_limit: u64,
 }
+
+/// Upper bound on shadowed line ids (8 MiB of bitmap). Programs the
+/// generator produces stay far below this; pathological hand-built plans
+/// simply fall back to the scan path.
+const SHADOW_LINE_CAP: u64 = 1 << 26;
 
 impl Hierarchy {
     /// Builds an empty hierarchy from a configuration.
@@ -64,6 +77,36 @@ impl Hierarchy {
             lat_l3: cfg.lat.l3,
             lat_mem: cfg.lat.mem,
             prefetch_insert: cfg.prefetch_insert,
+            l1i_shadow: Vec::new(),
+            shadow_limit: 0,
+        }
+    }
+
+    /// Enables the L1I presence shadow for lines `0..line_limit` (clamped to
+    /// an 8 MiB bitmap). Must be called while L1I is still empty — i.e.
+    /// before any fetch or prefetch — which is when the engine calls it.
+    pub fn enable_l1i_shadow(&mut self, line_limit: u64) {
+        debug_assert_eq!(self.l1i.occupancy(), 0, "shadow must start from an empty L1I");
+        let limit = line_limit.min(SHADOW_LINE_CAP);
+        self.l1i_shadow = vec![0u64; (limit as usize).div_ceil(64)];
+        self.shadow_limit = limit;
+    }
+
+    #[inline]
+    fn shadow_set(&mut self, line: Line) {
+        let raw = line.raw();
+        if raw < self.shadow_limit {
+            self.l1i_shadow[(raw >> 6) as usize] |= 1 << (raw & 63);
+        }
+    }
+
+    #[inline]
+    fn shadow_clear(&mut self, evicted: Option<Line>) {
+        if let Some(line) = evicted {
+            let raw = line.raw();
+            if raw < self.shadow_limit {
+                self.l1i_shadow[(raw >> 6) as usize] &= !(1 << (raw & 63));
+            }
         }
     }
 
@@ -92,21 +135,44 @@ impl Hierarchy {
     }
 
     /// Whether `line` is resident in the L1 I-cache.
+    #[inline]
     pub fn in_l1i(&self, line: Line) -> bool {
-        self.l1i.contains(line)
+        let raw = line.raw();
+        if raw < self.shadow_limit {
+            self.l1i_shadow[(raw >> 6) as usize] & (1 << (raw & 63)) != 0
+        } else {
+            self.l1i.contains(line)
+        }
     }
 
     /// Demand instruction fetch of `line`.
     pub fn fetch_instr(&mut self, line: Line) -> AccessOutcome {
-        if self.l1i.access(line) {
+        if self.fetch_instr_hit(line).is_some() {
             return AccessOutcome {
                 level: ResidencyLevel::L1,
                 extra_cycles: 0,
                 evicted_untouched: None,
             };
         }
+        self.fetch_instr_miss(line)
+    }
+
+    /// L1I demand-fetch fast path: on a hit, promotes the line, clears its
+    /// untouched-prefetch flag, and returns `Some(flag's previous value)` —
+    /// residency check, usefulness accounting, and recency update in one set
+    /// scan. Returns `None` on a miss without touching any state.
+    #[inline]
+    pub fn fetch_instr_hit(&mut self, line: Line) -> Option<bool> {
+        self.l1i.demand(line)
+    }
+
+    /// L1I demand-fetch slow path; the caller has established (via
+    /// [`Hierarchy::fetch_instr_hit`]) that `line` is not in L1I.
+    pub fn fetch_instr_miss(&mut self, line: Line) -> AccessOutcome {
         let (level, total_lat) = self.lookup_fill_shared(line);
         let fill = self.l1i.fill(line, InsertPriority::Mru, false);
+        self.shadow_set(line);
+        self.shadow_clear(fill.evicted);
         AccessOutcome {
             level,
             extra_cycles: total_lat - self.lat_l1i,
@@ -134,6 +200,8 @@ impl Hierarchy {
     pub fn prefetch_fill(&mut self, line: Line) -> Option<Line> {
         self.l2.fill(line, self.prefetch_insert, true);
         let out = self.l1i.fill(line, self.prefetch_insert, true);
+        self.shadow_set(line);
+        self.shadow_clear(out.evicted);
         if out.evicted_untouched_prefetch {
             out.evicted
         } else {
@@ -144,6 +212,22 @@ impl Hierarchy {
     /// Whether `line` sits in L1I as a not-yet-demanded prefetch.
     pub fn is_untouched_prefetch(&self, line: Line) -> bool {
         self.l1i.is_untouched_prefetch(line)
+    }
+
+    /// [`Hierarchy::prefetch_latency`] for a line the caller has already
+    /// established (via [`Hierarchy::in_l1i`]) to be absent from L1I — skips
+    /// the redundant L1I scan of the full `residency` walk.
+    #[inline]
+    pub fn prefetch_latency_missing_l1i(&self, line: Line) -> u32 {
+        if self.l1d.contains(line) {
+            self.lat_l1i // ResidencyLevel::L1, as `residency` reports it
+        } else if self.l2.contains(line) {
+            self.lat_l2
+        } else if self.l3.contains(line) {
+            self.lat_l3
+        } else {
+            self.lat_mem
+        }
     }
 
     /// Serves a miss from the shared levels, filling them on the way.
@@ -238,6 +322,33 @@ mod tests {
         // Same line fetched as an instruction must miss L1I but hit L2.
         let out = hier.fetch_instr(l);
         assert_eq!(out.level, ResidencyLevel::L2);
+    }
+
+    #[test]
+    fn l1i_shadow_agrees_with_cache_scan() {
+        // Drive fills and evictions through both fetch and prefetch paths and
+        // check the presence shadow never diverges from the authoritative
+        // cache contents, including for lines outside the shadowed range.
+        let mut hier = h();
+        hier.enable_l1i_shadow(512);
+        let mut state = 0x243F6A8885A308D3u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let line = Line::new(state % 600); // some lines beyond the limit
+            match state >> 40 & 1 {
+                0 => {
+                    hier.fetch_instr(line);
+                }
+                _ => {
+                    hier.prefetch_fill(line);
+                }
+            }
+            let probe = Line::new(state >> 8 & 0x3FF);
+            assert_eq!(hier.in_l1i(probe), hier.l1i().contains(probe), "line {probe:?}");
+            assert_eq!(hier.in_l1i(line), hier.l1i().contains(line));
+        }
     }
 
     #[test]

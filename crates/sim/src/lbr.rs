@@ -33,12 +33,17 @@ use std::collections::VecDeque;
 pub struct CountingBloom {
     cfg: HashConfig,
     counters: Vec<u8>,
+    /// Bitmask of non-zero counters, maintained incrementally on every
+    /// 0 ↔ 1 counter transition so [`CountingBloom::runtime_hash`] — which
+    /// the engine consults on every conditional-prefetch execution — is a
+    /// field read instead of a counter scan.
+    mask: u64,
 }
 
 impl CountingBloom {
     /// Creates an empty filter for the given hash scheme.
     pub fn new(cfg: HashConfig) -> Self {
-        CountingBloom { cfg, counters: vec![0; usize::from(cfg.bits())] }
+        CountingBloom { cfg, counters: vec![0; usize::from(cfg.bits())], mask: 0 }
     }
 
     /// The hash scheme in use.
@@ -55,33 +60,35 @@ impl CountingBloom {
             // increments per bit even if every entry hashed to one bit).
             debug_assert!(*c < 64, "6-bit Bloom counter overflow");
             *c += 1;
+            self.mask |= 1 << bit;
         }
     }
 
     /// Removes one occurrence of the block starting at `addr`.
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if the counter underflows, which would mean
-    /// insert/remove calls were unbalanced.
+    /// Counters saturate at zero in **every** build profile: removing an
+    /// address that was never inserted (unbalanced insert/remove calls)
+    /// leaves its counters — and the runtime hash — unchanged. The hardware
+    /// analogue is a counting Bloom filter that simply cannot decrement an
+    /// empty counter, and keeping one behaviour everywhere means release and
+    /// debug simulations can never diverge.
     pub fn remove(&mut self, addr: Addr) {
         let (bits, n) = self.bits_of(addr);
         for &bit in &bits[..n] {
             let c = &mut self.counters[bit];
-            debug_assert!(*c > 0, "Bloom counter underflow");
-            *c = c.saturating_sub(1);
+            if *c > 0 {
+                *c -= 1;
+                if *c == 0 {
+                    self.mask &= !(1 << bit);
+                }
+            }
         }
     }
 
     /// The runtime hash: one bit per non-zero counter.
+    #[inline]
     pub fn runtime_hash(&self) -> u64 {
-        let mut bits = 0u64;
-        for (i, &c) in self.counters.iter().enumerate() {
-            if c > 0 {
-                bits |= 1 << i;
-            }
-        }
-        bits
+        self.mask
     }
 
     /// The raw counter values (for white-box tests / the Fig. 7 walkthrough).
@@ -173,6 +180,7 @@ impl Lbr {
     }
 
     /// The Bloom-filter runtime hash over the current contents.
+    #[inline]
     pub fn runtime_hash(&self) -> u64 {
         self.bloom.runtime_hash()
     }
@@ -287,5 +295,63 @@ mod tests {
     #[should_panic(expected = "depth must be positive")]
     fn zero_depth_panics() {
         let _ = Lbr::new(0, HashConfig::default());
+    }
+
+    #[test]
+    fn remove_of_absent_address_saturates_in_every_profile() {
+        // One behaviour in debug *and* release: decrementing an empty
+        // counter is a no-op, never an underflow (and never a panic).
+        let cfg = HashConfig::default();
+        let mut bloom = CountingBloom::new(cfg);
+        bloom.remove(addr(3)); // never inserted
+        assert!(bloom.counters().iter().all(|&c| c == 0));
+        assert_eq!(bloom.runtime_hash(), 0);
+        // Unbalanced removes around a real insert stay consistent too.
+        bloom.insert(addr(3));
+        bloom.remove(addr(3));
+        bloom.remove(addr(3));
+        assert!(bloom.counters().iter().all(|&c| c == 0));
+        assert_eq!(bloom.runtime_hash(), 0);
+        // The filter remains usable afterwards.
+        bloom.insert(addr(3));
+        assert!(cfg.context_hash([addr(3)]).matches(bloom.runtime_hash()));
+    }
+
+    #[test]
+    fn incremental_mask_equals_counter_scan() {
+        // The maintained bitmask must always equal a from-scratch scan of
+        // the counters, including through saturating removes.
+        let cfg = HashConfig::default();
+        let mut bloom = CountingBloom::new(cfg);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        // Keep every counter under the 6-bit ceiling: a counter never
+        // exceeds the total number of live inserts, so cap that at 60.
+        let mut live = [0u32; 48];
+        let mut total_live = 0u32;
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % 48) as usize;
+            let a = addr(i as u64);
+            if state >> 20 & 3 == 0 || total_live >= 60 {
+                bloom.remove(a); // sometimes of an absent address: saturates
+                if live[i] > 0 {
+                    live[i] -= 1;
+                    total_live -= 1;
+                }
+            } else {
+                bloom.insert(a);
+                live[i] += 1;
+                total_live += 1;
+            }
+            let scanned = bloom
+                .counters()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .fold(0u64, |m, (i, _)| m | 1 << i);
+            assert_eq!(bloom.runtime_hash(), scanned);
+        }
     }
 }

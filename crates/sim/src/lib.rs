@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod fxhash;
 pub mod hierarchy;
 pub mod lbr;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod outcome;
 pub use cache::{Cache, CacheParams, InsertPriority};
 pub use config::{Latencies, SimConfig};
 pub use engine::{run, HwPrefetcher, NoopObserver, RunOptions, SimObserver};
+pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use hierarchy::{Hierarchy, ResidencyLevel};
 pub use lbr::{CountingBloom, Lbr};
 pub use metrics::SimResult;

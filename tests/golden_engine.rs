@@ -1,0 +1,107 @@
+//! Old-vs-new engine golden test.
+//!
+//! The committed `tests/golden_engine.golden` file records the exact
+//! `SimResult` (and outcome-ledger totals) the **pre-rework** engine produced
+//! for all nine apps under the default, ideal, injected(+ledger), and
+//! hash-variant configurations. The reworked hot path (compiled injection
+//! plans, flat caches, incremental Bloom mask, FxHash maps) must reproduce
+//! every counter bit-for-bit: any divergence fails this test.
+//!
+//! Regenerate (only when *intentionally* changing simulation semantics) with:
+//!
+//! ```text
+//! GOLDEN_WRITE=1 cargo test -p ispy-harness --test golden_engine
+//! ```
+
+use ispy_harness::workload::miss_derived_plan;
+use ispy_isa::HashConfig;
+use ispy_sim::{run, OutcomeLedger, RunOptions, SimConfig};
+use ispy_trace::apps;
+
+const SHRINK: u32 = 20;
+const EVENTS: usize = 30_000;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden_engine.golden")
+}
+
+/// Renders the full engine fingerprint: one line per (app, config) result.
+fn render() -> String {
+    let mut out = String::new();
+    for model in apps::all() {
+        let model = model.scaled_down(SHRINK);
+        let name = model.name();
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), EVENTS);
+
+        let dcfg = SimConfig::default();
+        let base = run(&program, &trace, &dcfg, RunOptions::default());
+        out.push_str(&format!("{name}/default {base:?}\n"));
+
+        let ideal = run(&program, &trace, &SimConfig::ideal(), RunOptions::default());
+        out.push_str(&format!("{name}/ideal {ideal:?}\n"));
+
+        let plan = miss_derived_plan(&program, &trace, &dcfg);
+        let mut ledger = OutcomeLedger::default();
+        let injected = run(
+            &program,
+            &trace,
+            &dcfg,
+            RunOptions {
+                injections: Some(&plan),
+                outcomes: Some(&mut ledger),
+                ..Default::default()
+            },
+        );
+        out.push_str(&format!("{name}/injected {injected:?}\n"));
+        out.push_str(&format!(
+            "{name}/injected-ledger n={} executed={} fired={} suppressed={} issued={} \
+             resident={} useful={} late={} evicted={} untracked={:?}\n",
+            ledger.per_injection.len(),
+            ledger.total(|o| o.executed),
+            ledger.total(|o| o.fired),
+            ledger.total(|o| o.suppressed),
+            ledger.total(|o| o.lines_issued),
+            ledger.total(|o| o.lines_resident),
+            ledger.total(|o| o.useful),
+            ledger.total(|o| o.late),
+            ledger.total(|o| o.evicted_unused),
+            ledger.untracked,
+        ));
+
+        let hcfg = dcfg.clone().with_hash(HashConfig::new(32, 2));
+        let hplan = miss_derived_plan(&program, &trace, &hcfg);
+        let hashed = run(
+            &program,
+            &trace,
+            &hcfg,
+            RunOptions { injections: Some(&hplan), ..Default::default() },
+        );
+        out.push_str(&format!("{name}/hash32 {hashed:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn engine_results_match_pre_rework_golden() {
+    let path = golden_path();
+    let rendered = render();
+    if std::env::var("GOLDEN_WRITE").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("tests/golden_engine.golden missing; regenerate with GOLDEN_WRITE=1");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let new_lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        new_lines.len(),
+        "golden line count changed ({} vs {})",
+        golden_lines.len(),
+        new_lines.len()
+    );
+    for (g, n) in golden_lines.iter().zip(&new_lines) {
+        assert_eq!(g, n, "engine output diverged from the pre-rework golden");
+    }
+}
