@@ -1,0 +1,171 @@
+//! LEB128 varints and zigzag signed encoding.
+//!
+//! Unsigned values are encoded as little-endian base-128 (7 value bits per
+//! byte, high bit = continuation). Signed values are zigzag-mapped first
+//! (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) so small magnitudes of either sign
+//! stay short — the encoding delta-compressed streams (trace events, sorted
+//! address tables) rely on.
+
+use crate::error::ArtifactError;
+
+/// Appends `v` to `out` as a LEB128 varint (1–10 bytes).
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` to `out` zigzag-mapped then LEB128-encoded.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, zigzag(v));
+}
+
+/// The zigzag mapping: interleaves negative and non-negative values.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// The inverse zigzag mapping.
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Reads a LEB128 varint from the front of `input`, returning the value and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`ArtifactError::Truncated`] if `input` ends mid-varint;
+/// [`ArtifactError::Malformed`] if the encoding exceeds 10 bytes or
+/// overflows 64 bits.
+pub fn take_u64(input: &[u8]) -> Result<(u64, usize), ArtifactError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 9 && byte > 1 {
+            return Err(ArtifactError::malformed("varint", "overflows 64 bits"));
+        }
+        value |= u64::from(byte & 0x7F) << (7 * i as u32);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        if i + 1 == 10 {
+            return Err(ArtifactError::malformed("varint", "longer than 10 bytes"));
+        }
+    }
+    Err(ArtifactError::Truncated { context: "varint" })
+}
+
+/// Reads a zigzag varint from the front of `input`.
+///
+/// # Errors
+///
+/// Same conditions as [`take_u64`].
+pub fn take_i64(input: &[u8]) -> Result<(i64, usize), ArtifactError> {
+    let (raw, n) = take_u64(input)?;
+    Ok((unzigzag(raw), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream for seeded property tests.
+    pub(crate) struct Rng(u64);
+
+    impl Rng {
+        pub(crate) fn new(seed: u64) -> Self {
+            Rng(seed.max(1))
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let (back, n) = take_u64(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn seeded_random_round_trips() {
+        // Property: encode(decode) is identity over a mixed-magnitude stream.
+        let mut rng = Rng::new(0x15B9_0001);
+        let mut values_u = Vec::new();
+        let mut values_i = Vec::new();
+        for _ in 0..4096 {
+            let r = rng.next();
+            // Mix magnitudes: mask to a random bit width.
+            let width = rng.next() % 65;
+            let v = if width == 0 { 0 } else { r >> (64 - width) };
+            values_u.push(v);
+            values_i.push(v as i64);
+        }
+        let mut buf = Vec::new();
+        for &v in &values_u {
+            put_u64(&mut buf, v);
+        }
+        for &v in &values_i {
+            put_i64(&mut buf, v);
+        }
+        let mut off = 0;
+        for &v in &values_u {
+            let (back, n) = take_u64(&buf[off..]).unwrap();
+            assert_eq!(back, v);
+            off += n;
+        }
+        for &v in &values_i {
+            let (back, n) = take_i64(&buf[off..]).unwrap();
+            assert_eq!(back, v);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(matches!(take_u64(&buf[..cut]), Err(ArtifactError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_encodings_rejected() {
+        // 10 continuation bytes: longer than any valid u64 varint.
+        let overlong = [0x80u8; 10];
+        assert!(matches!(take_u64(&overlong), Err(ArtifactError::Malformed { .. })));
+        // 10th byte contributes bits above 2^64.
+        let overflow = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert!(matches!(take_u64(&overflow), Err(ArtifactError::Malformed { .. })));
+        // Maximum valid: u64::MAX ends with 0x01 in the 10th byte.
+        let max = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert_eq!(take_u64(&max).unwrap().0, u64::MAX);
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod coalesce;
 pub mod config;
 pub mod context;

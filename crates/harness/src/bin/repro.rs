@@ -6,11 +6,17 @@
 //! repro fig10 fig11 --quick       # several experiments, reduced scale
 //! repro all --json out/           # everything, also writing JSON per figure
 //! repro all --metrics out/        # everything, plus telemetry JSON per figure
+//! repro all --cache               # memoize traces/profiles/plans on disk
 //! repro all --jobs 8              # cap the worker pool at 8 threads
 //! repro fig17 --apps wordpress    # run on a subset of the applications
 //! repro explain wordpress --quick # why/what-did-it-buy audit per injection
+//! repro record kafka -o k.itrace  # record an execution to an artifact
+//! repro plan kafka -o k.iplan     # plan injections, save with provenance
+//! repro replay k.itrace           # re-simulate a recorded artifact
+//! repro ingest perf.txt           # lift a perf-script LBR dump to .itrace
 //! ```
 
+use ispy_harness::cache::{ArtifactCache, DEFAULT_CACHE_DIR};
 use ispy_harness::{explain, figures, metrics, Scale, Session};
 use ispy_telemetry::{Telemetry, TimingMode};
 use ispy_trace::apps;
@@ -25,7 +31,15 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
+    match args[0].as_str() {
+        "record" => return run_record(&args[1..]),
+        "plan" => return run_plan(&args[1..]),
+        "replay" => return run_replay(&args[1..]),
+        "ingest" => return run_ingest(&args[1..]),
+        _ => {}
+    }
     let mut ids: Vec<String> = Vec::new();
+    let mut cache_dir: Option<PathBuf> = None;
     let mut scale = Scale::full();
     let mut json_dir: Option<PathBuf> = None;
     let mut metrics_dir: Option<PathBuf> = None;
@@ -93,6 +107,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--cache" => cache_dir = Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+            flag if flag.starts_with("--cache=") => {
+                let dir = &flag["--cache=".len()..];
+                if dir.is_empty() {
+                    eprintln!("--cache=DIR needs a directory");
+                    return ExitCode::FAILURE;
+                }
+                cache_dir = Some(PathBuf::from(dir));
+            }
             "list" => {
                 for spec in figures::all() {
                     println!("{:12} {}", spec.id, spec.about);
@@ -156,7 +179,13 @@ fn main() -> ExitCode {
         }
     }
     let t0 = Instant::now();
-    let session = Session::with_apps(scale, models);
+    let session = match &cache_dir {
+        Some(dir) => {
+            eprintln!("artifact cache: {}", dir.display());
+            Session::with_cache(scale, models, ArtifactCache::new(dir, scale))
+        }
+        None => Session::with_apps(scale, models),
+    };
     eprintln!("prepared in {:.1?}", t0.elapsed());
     if let Some(dir) = &metrics_dir {
         // Preparation telemetry (profiling replays, CFG builds) accumulated
@@ -243,6 +272,191 @@ fn run_explain(app: &str, scale: Scale, top_n: usize) -> ExitCode {
 fn usage() {
     eprintln!("usage: repro <list|all|fig01|fig03|...|fig21|table1|walkthrough>");
     eprintln!("             [--quick | --test-scale] [--json DIR] [--metrics DIR]");
-    eprintln!("             [--jobs N] [--apps a,b,c]");
+    eprintln!("             [--cache[=DIR]] [--jobs N] [--apps a,b,c]");
     eprintln!("       repro explain <app> [--quick | --test-scale] [--top N] [--jobs N]");
+    eprintln!("       repro record <app> [--quick | --test-scale] [-o FILE.itrace]");
+    eprintln!("       repro plan <app> [--quick | --test-scale] [-o FILE.iplan]");
+    eprintln!("       repro replay <FILE.itrace> [--plan FILE.iplan]");
+    eprintln!("       repro ingest <perf-script.txt> [-o FILE.itrace]");
+    eprintln!("       (--cache defaults to {DEFAULT_CACHE_DIR}/)");
+}
+
+/// Parses the scale/output flags shared by the artifact subcommands;
+/// returns `(positional args, scale, -o value)`.
+fn parse_artifact_args(args: &[String]) -> Result<(Vec<String>, Scale, Option<PathBuf>), String> {
+    let mut positional = Vec::new();
+    let mut scale = Scale::full();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--test-scale" => scale = Scale::test(),
+            "-o" | "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(PathBuf::from(p)),
+                    None => return Err("-o needs a file path".to_string()),
+                }
+            }
+            flag if flag.starts_with('-') && flag != "--plan" => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((positional, scale, out))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}
+
+/// `repro record <app>`: record an execution and store it as `.itrace`.
+fn run_record(args: &[String]) -> ExitCode {
+    let (positional, scale, out) = match parse_artifact_args(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let [app] = positional.as_slice() else {
+        return fail(&format!("record needs exactly one app; known: {}", apps::NAMES.join(",")));
+    };
+    let Some(model) = apps::by_name(app) else {
+        return fail(&format!("unknown app `{app}`; known: {}", apps::NAMES.join(",")));
+    };
+    let model = model.scaled_down(scale.shrink);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), scale.events);
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("{app}.itrace")));
+    if let Err(e) = ispy_trace::artifact::write_recording(&program, &trace, &path) {
+        return fail(&e.to_string());
+    }
+    eprintln!(
+        "recorded {app}: {} blocks, {} events -> {}",
+        program.num_blocks(),
+        trace.len(),
+        path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro plan <app>`: profile, plan I-SPY injections, store as `.iplan`.
+fn run_plan(args: &[String]) -> ExitCode {
+    let (positional, scale, out) = match parse_artifact_args(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let [app] = positional.as_slice() else {
+        return fail(&format!("plan needs exactly one app; known: {}", apps::NAMES.join(",")));
+    };
+    let Some(model) = apps::by_name(app) else {
+        return fail(&format!("unknown app `{app}`; known: {}", apps::NAMES.join(",")));
+    };
+    let ctx = ispy_harness::session::AppContext::prepare(model, scale);
+    let plan = ispy_core::Planner::new(
+        &ctx.program,
+        &ctx.trace,
+        &ctx.profile,
+        ispy_core::IspyConfig::default(),
+    )
+    .plan();
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("{app}.iplan")));
+    if let Err(e) = ispy_core::artifact::write_plan(app, &plan, &path) {
+        return fail(&e.to_string());
+    }
+    eprintln!(
+        "planned {app}: {} ops at {} sites ({} bytes injected) -> {}",
+        plan.stats.ops_total(),
+        plan.stats.sites,
+        plan.stats.injected_bytes,
+        path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro replay <file.itrace> [--plan file.iplan]`: re-simulate a recorded
+/// artifact and print the canonical metric lines.
+fn run_replay(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut plan_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--plan" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => plan_file = Some(PathBuf::from(p)),
+                    None => return fail("--plan needs a .iplan file"),
+                }
+            }
+            flag if flag.starts_with('-') => return fail(&format!("unknown flag `{flag}`")),
+            other => files.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let [path] = files.as_slice() else {
+        return fail("replay needs exactly one .itrace file");
+    };
+    let (program, trace) = match ispy_trace::artifact::read_recording(path) {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let plan = match &plan_file {
+        Some(p) => match ispy_core::artifact::read_plan(p) {
+            Ok((label, plan)) => {
+                if label != program.name() {
+                    eprintln!(
+                        "warning: plan was built for `{label}`, replaying `{}`",
+                        program.name()
+                    );
+                }
+                Some(plan)
+            }
+            Err(e) => return fail(&e.to_string()),
+        },
+        None => None,
+    };
+    let result = ispy_sim::run(
+        &program,
+        &trace,
+        &ispy_sim::SimConfig::default(),
+        ispy_sim::RunOptions {
+            injections: plan.as_ref().map(|p| &p.injections),
+            ..Default::default()
+        },
+    );
+    print!("{}", metrics::result_lines(program.name(), &result));
+    ExitCode::SUCCESS
+}
+
+/// `repro ingest <perf.txt>`: lift a perf-script LBR dump into `.itrace`.
+fn run_ingest(args: &[String]) -> ExitCode {
+    let (positional, _scale, out) = match parse_artifact_args(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let [input] = positional.as_slice() else {
+        return fail("ingest needs exactly one perf-script text file");
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    let (program, trace) = match ispy_trace::ingest::parse_perf_script(&text) {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let path = out.unwrap_or_else(|| PathBuf::from(input).with_extension("itrace"));
+    if let Err(e) = ispy_trace::artifact::write_recording(&program, &trace, &path) {
+        return fail(&e.to_string());
+    }
+    eprintln!(
+        "ingested {input}: {} blocks, {} events -> {}",
+        program.num_blocks(),
+        trace.len(),
+        path.display()
+    );
+    ExitCode::SUCCESS
 }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod explain;
 pub mod figures;
 pub mod metrics;
@@ -27,6 +28,7 @@ pub mod report;
 pub mod session;
 pub mod workload;
 
+pub use cache::ArtifactCache;
 pub use explain::explain;
 pub use report::Table;
 pub use session::{Comparison, Scale, Session};

@@ -8,8 +8,49 @@
 //! hand-rolled like [`crate::report`] (the build environment is offline).
 
 use crate::session::Session;
-use ispy_sim::InjectionOutcome;
+use ispy_sim::{InjectionOutcome, SimResult};
 use std::fmt::Write as _;
+
+/// Renders one run's metrics as canonical `key=value` lines under an app
+/// `name` header — the textual fingerprint `repro replay` prints and the
+/// record/replay golden tests compare byte-for-byte. Every raw counter is
+/// included; derived `f64` metrics use Rust's shortest-round-trip
+/// formatting, so equal results render to equal bytes and vice versa.
+pub fn result_lines(name: &str, r: &SimResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[{name}]");
+    for (key, v) in [
+        ("cycles", r.cycles),
+        ("instrs", r.instrs),
+        ("base_instrs", r.base_instrs),
+        ("blocks", r.blocks),
+        ("i_accesses", r.i_accesses),
+        ("i_misses", r.i_misses),
+        ("i_stall_cycles", r.i_stall_cycles),
+        ("d_accesses", r.d_accesses),
+        ("d_misses", r.d_misses),
+        ("d_stall_cycles", r.d_stall_cycles),
+        ("pf_ops_executed", r.pf_ops_executed),
+        ("pf_ops_fired", r.pf_ops_fired),
+        ("pf_ops_suppressed", r.pf_ops_suppressed),
+        ("pf_lines_issued", r.pf_lines_issued),
+        ("pf_lines_resident", r.pf_lines_resident),
+        ("pf_useful", r.pf_useful),
+        ("pf_late", r.pf_late),
+        ("pf_evicted_unused", r.pf_evicted_unused),
+    ] {
+        let _ = writeln!(out, "{key}={v}");
+    }
+    for (key, v) in [
+        ("mpki", r.mpki()),
+        ("ipc", r.ipc()),
+        ("frontend_bound", r.frontend_bound()),
+        ("accuracy", r.accuracy()),
+    ] {
+        let _ = writeln!(out, "{key}={v:?}");
+    }
+    out
+}
 
 /// Dominant-outcome classes, in the order they render.
 const CLASSES: [&str; 6] =

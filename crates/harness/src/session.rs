@@ -56,12 +56,44 @@ pub struct AppContext {
 impl AppContext {
     /// Prepares one application at the given scale.
     pub fn prepare(model: AppModel, scale: Scale) -> Self {
+        Self::prepare_with(model, scale, None)
+    }
+
+    /// [`AppContext::prepare`] with an optional artifact cache: the
+    /// recording and profile are loaded from cached `.itrace`/`.iprof`
+    /// files when present (and stored after computing otherwise). Because
+    /// the codecs are exact, a cache hit is indistinguishable from a fresh
+    /// preparation.
+    pub fn prepare_with(
+        model: AppModel,
+        scale: Scale,
+        cache: Option<&crate::cache::ArtifactCache>,
+    ) -> Self {
         let tele = ispy_telemetry::global();
         let _span = tele.span("session.prepare");
         let model = model.scaled_down(scale.shrink);
-        let program = model.generate();
-        let trace = program.record_trace(model.default_input(), scale.events);
-        let profile = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+        let name = model.name();
+        let (program, trace) = match cache.and_then(|c| c.load_recording(name)) {
+            Some(pair) => pair,
+            None => {
+                let program = model.generate();
+                let trace = program.record_trace(model.default_input(), scale.events);
+                if let Some(c) = cache {
+                    c.store_recording(name, &program, &trace);
+                }
+                (program, trace)
+            }
+        };
+        let profile = match cache.and_then(|c| c.load_profile(name)) {
+            Some(profile) => profile,
+            None => {
+                let profile = profile(&program, &trace, &SimConfig::default(), SampleRate::EXACT);
+                if let Some(c) = cache {
+                    c.store_profile(name, &profile);
+                }
+                profile
+            }
+        };
         AppContext { model, program, trace, profile }
     }
 
@@ -167,6 +199,7 @@ pub struct Session {
     apps: Vec<AppContext>,
     comparisons: Vec<OnceLock<Arc<Comparison>>>,
     baselines: Vec<PlannerBaseline>,
+    cache: Option<crate::cache::ArtifactCache>,
 }
 
 impl Session {
@@ -180,13 +213,36 @@ impl Session {
     /// (model generation + trace recording + profiling) runs one app per
     /// pool thread.
     pub fn with_apps(scale: Scale, models: Vec<AppModel>) -> Self {
-        let apps = ispy_parallel::par_map_vec(models, |m| AppContext::prepare(m, scale));
+        Self::build(scale, models, None)
+    }
+
+    /// [`Session::with_apps`] backed by an on-disk artifact cache:
+    /// recordings, profiles, and the comparison plans are loaded from the
+    /// cache when present and stored after computing otherwise. Figures
+    /// rendered from a warm cache are byte-identical to a cold run.
+    pub fn with_cache(
+        scale: Scale,
+        models: Vec<AppModel>,
+        cache: crate::cache::ArtifactCache,
+    ) -> Self {
+        Self::build(scale, models, Some(cache))
+    }
+
+    fn build(
+        scale: Scale,
+        models: Vec<AppModel>,
+        cache: Option<crate::cache::ArtifactCache>,
+    ) -> Self {
+        let apps = ispy_parallel::par_map_vec(models, |m| {
+            AppContext::prepare_with(m, scale, cache.as_ref())
+        });
         let n = apps.len();
         Session {
             scale,
             apps,
             comparisons: (0..n).map(|_| OnceLock::new()).collect(),
             baselines: (0..n).map(|_| PlannerBaseline::new()).collect(),
+            cache,
         }
     }
 
@@ -226,12 +282,31 @@ impl Session {
         let scfg = SimConfig::default();
         let baseline = ctx.simulate(&scfg, None);
         let ideal = ctx.simulate(&SimConfig::ideal(), None);
-        let asmdb_plan =
-            AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
+        let asmdb_plan = match self.cache.as_ref().and_then(|c| c.load_plan(ctx.name(), "asmdb")) {
+            Some(plan) => plan,
+            None => {
+                let plan =
+                    AsmDbPlanner::new(&ctx.program, &ctx.profile, AsmDbConfig::default()).plan();
+                if let Some(c) = &self.cache {
+                    c.store_plan(ctx.name(), "asmdb", &plan);
+                }
+                plan
+            }
+        };
         let asmdb_compiled = asmdb_plan.injections.compile(ctx.program.num_blocks());
         let asmdb = ctx.simulate_compiled(&scfg, &asmdb_compiled);
-        let ispy_plan = Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
-            .plan_with_baseline(&self.baselines[i]);
+        let ispy_plan = match self.cache.as_ref().and_then(|c| c.load_plan(ctx.name(), "ispy")) {
+            Some(plan) => plan,
+            None => {
+                let plan =
+                    Planner::new(&ctx.program, &ctx.trace, &ctx.profile, IspyConfig::default())
+                        .plan_with_baseline(&self.baselines[i]);
+                if let Some(c) = &self.cache {
+                    c.store_plan(ctx.name(), "ispy", &plan);
+                }
+                plan
+            }
+        };
         let ispy_compiled = ispy_plan.injections.compile(ctx.program.num_blocks());
         let mut ispy_outcomes = OutcomeLedger::with_capacity(ispy_plan.provenance.len());
         let ispy = run(

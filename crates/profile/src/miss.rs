@@ -76,6 +76,17 @@ impl MissProfile {
         self.total += 1;
     }
 
+    /// Installs fully-formed stats for `line`, replacing any existing entry
+    /// — the artifact decoder's entry point for exact reconstruction (the
+    /// incremental [`MissProfile::record`] path cannot rebuild presorted
+    /// stats verbatim).
+    pub(crate) fn insert_line(&mut self, line: Line, stats: LineMissStats) {
+        self.total += stats.count;
+        if let Some(old) = self.by_line.insert(line.raw(), stats) {
+            self.total -= old.count;
+        }
+    }
+
     /// Stats for `line`, if it ever missed.
     pub fn line(&self, line: Line) -> Option<&LineMissStats> {
         self.by_line.get(&line.raw())

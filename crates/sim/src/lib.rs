@@ -35,6 +35,7 @@ pub mod hierarchy;
 pub mod lbr;
 pub mod metrics;
 pub mod outcome;
+pub mod replay;
 
 pub use cache::{Cache, CacheParams, InsertPriority};
 pub use config::{Latencies, SimConfig};
@@ -44,3 +45,4 @@ pub use hierarchy::{Hierarchy, ResidencyLevel};
 pub use lbr::{CountingBloom, Lbr};
 pub use metrics::SimResult;
 pub use outcome::{InjectionOutcome, OutcomeLedger};
+pub use replay::{replay_bytes, replay_file, ReplayOutcome};

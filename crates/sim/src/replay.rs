@@ -1,0 +1,132 @@
+//! Replay-from-artifact: run the simulator straight off a `.itrace` file.
+//!
+//! The artifact path decouples *recording* an execution from *simulating*
+//! it: a trace captured once (synthetically, or ingested from a perf LBR
+//! dump) can be replayed under any simulator or injection configuration
+//! without re-running the workload. Because the `.itrace` codec is exact,
+//! a replayed run is byte-identical to a run over the in-memory recording —
+//! the property the golden tests pin.
+//!
+//! # Examples
+//!
+//! ```
+//! use ispy_sim::{replay, run, RunOptions, SimConfig};
+//! use ispy_trace::{apps, artifact};
+//!
+//! let model = apps::kafka().scaled_down(20);
+//! let program = model.generate();
+//! let trace = program.record_trace(model.default_input(), 5_000);
+//! let bytes = artifact::recording_to_bytes(&program, &trace);
+//!
+//! let live = run(&program, &trace, &SimConfig::default(), RunOptions::default());
+//! let replayed =
+//!     replay::replay_bytes(&bytes, &SimConfig::default(), RunOptions::default()).unwrap();
+//! assert_eq!(replayed.name, "kafka");
+//! assert_eq!(replayed.result, live);
+//! ```
+
+use crate::config::SimConfig;
+use crate::engine::{run, RunOptions};
+use crate::metrics::SimResult;
+use ispy_artifact::ArtifactError;
+use ispy_trace::artifact::{read_recording, recording_from_bytes};
+use std::path::Path;
+
+/// What a replay produced: the identity of the recording plus the metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// The recorded program's name (the app label).
+    pub name: String,
+    /// The recorded trace's name.
+    pub trace_name: String,
+    /// The simulation result, identical to a run over the live recording.
+    pub result: SimResult,
+}
+
+/// Replays a serialized recording through the simulator.
+///
+/// # Errors
+///
+/// Any [`ArtifactError`] from decoding the recording.
+pub fn replay_bytes(
+    bytes: &[u8],
+    cfg: &SimConfig,
+    opts: RunOptions<'_>,
+) -> Result<ReplayOutcome, ArtifactError> {
+    let (program, trace) = recording_from_bytes(bytes)?;
+    let result = run(&program, &trace, cfg, opts);
+    Ok(ReplayOutcome {
+        name: program.name().to_string(),
+        trace_name: trace.name().to_string(),
+        result,
+    })
+}
+
+/// Replays a `.itrace` file through the simulator.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on filesystem failure, otherwise as
+/// [`replay_bytes`].
+pub fn replay_file(
+    path: &Path,
+    cfg: &SimConfig,
+    opts: RunOptions<'_>,
+) -> Result<ReplayOutcome, ArtifactError> {
+    let (program, trace) = read_recording(path)?;
+    let result = run(&program, &trace, cfg, opts);
+    Ok(ReplayOutcome {
+        name: program.name().to_string(),
+        trace_name: trace.name().to_string(),
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ispy_trace::apps;
+    use ispy_trace::artifact::{recording_to_bytes, write_recording};
+
+    fn recording() -> (ispy_trace::Program, ispy_trace::Trace) {
+        let model = apps::tomcat().scaled_down(30);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 6_000);
+        (program, trace)
+    }
+
+    #[test]
+    fn replay_matches_live_run_exactly() {
+        let (program, trace) = recording();
+        let cfg = SimConfig::default();
+        let live = run(&program, &trace, &cfg, RunOptions::default());
+        let out = replay_bytes(&recording_to_bytes(&program, &trace), &cfg, RunOptions::default())
+            .unwrap();
+        assert_eq!(out.name, program.name());
+        assert_eq!(out.trace_name, trace.name());
+        assert_eq!(out.result, live);
+    }
+
+    #[test]
+    fn replay_from_file_round_trips() {
+        let (program, trace) = recording();
+        let dir = std::env::temp_dir().join("ispy-replay-test");
+        let path = dir.join("tomcat.itrace");
+        write_recording(&program, &trace, &path).unwrap();
+        let cfg = SimConfig::default();
+        let out = replay_file(&path, &cfg, RunOptions::default()).unwrap();
+        assert_eq!(out.result, run(&program, &trace, &cfg, RunOptions::default()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_bytes_are_a_typed_error() {
+        let err = replay_bytes(
+            b"definitely not an artifact container",
+            &SimConfig::default(),
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ArtifactError::BadMagic);
+    }
+}

@@ -1,0 +1,380 @@
+//! The `.itrace` artifact codec: a durable recording of a program + trace.
+//!
+//! A recording captures everything the rest of the pipeline needs to replay
+//! an execution bit-for-bit: the full static program (blocks, exits,
+//! functions, ownership, request paths, and the generator knobs the
+//! simulator's D-side model reads) and the dynamic block-event sequence.
+//! Replaying a loaded recording produces *byte-identical* results to the
+//! in-memory pipeline because every field round-trips exactly — `f64`s as
+//! raw bit patterns, integers verbatim.
+//!
+//! The codec lives here rather than in `ispy-artifact` so the container
+//! crate stays dependency-free; this module owns the mapping between
+//! [`Program`]/[`Trace`] and container sections.
+//!
+//! # Examples
+//!
+//! ```
+//! use ispy_trace::{apps, artifact};
+//!
+//! let model = apps::kafka().scaled_down(40);
+//! let program = model.generate();
+//! let trace = program.record_trace(model.default_input(), 1_000);
+//! let bytes = artifact::recording_to_bytes(&program, &trace);
+//! let (program2, trace2) = artifact::recording_from_bytes(&bytes).unwrap();
+//! assert_eq!(program2.name(), program.name());
+//! assert_eq!(trace2, trace);
+//! ```
+
+use crate::addr::Addr;
+use crate::block::{BasicBlock, BlockId};
+use crate::program::{BlockExit, FuncId, Function, Program};
+use crate::trace::Trace;
+use ispy_artifact::{ArtifactError, ArtifactKind, ArtifactReader, ArtifactWriter};
+use std::path::Path;
+
+/// Program-level metadata: name, generator knobs, table sizes.
+const SEC_META: u32 = 1;
+/// Per-block geometry: start address (delta), bytes, instrs, data accesses.
+const SEC_BLOCKS: u32 = 2;
+/// Per-block control-flow exits, tagged.
+const SEC_EXITS: u32 = 3;
+/// Function table: entry block, first block, block count.
+const SEC_FUNCS: u32 = 4;
+/// Owning function per block (delta stream).
+const SEC_OWNER: u32 = 5;
+/// Request paths: one function sequence per request type.
+const SEC_REQUEST_PATHS: u32 = 6;
+/// The dynamic trace: name plus the block-event sequence (delta stream).
+const SEC_TRACE: u32 = 7;
+
+/// Exit tag values in [`SEC_EXITS`].
+const EXIT_BRANCH: u8 = 0;
+const EXIT_CALL: u8 = 1;
+const EXIT_RETURN: u8 = 2;
+
+/// Serializes a recording to artifact bytes.
+pub fn recording_to_bytes(program: &Program, trace: &Trace) -> Vec<u8> {
+    let mut w = ArtifactWriter::new(ArtifactKind::Trace);
+
+    let mut meta = w.section(SEC_META);
+    meta.put_str(program.name());
+    meta.put_varint(program.data_footprint_lines());
+    meta.put_f64(program.branch_determinism());
+    meta.put_varint(u64::from(program.request_variants()));
+    meta.put_varint(program.num_blocks() as u64);
+    meta.put_varint(program.num_funcs() as u64);
+    w.finish_section(meta);
+
+    let mut blocks = w.section(SEC_BLOCKS);
+    for b in program.blocks() {
+        blocks.put_delta(b.start().raw());
+        blocks.put_varint(u64::from(b.bytes()));
+        blocks.put_varint(u64::from(b.instrs()));
+        blocks.put_varint(u64::from(b.data_accesses()));
+    }
+    w.finish_section(blocks);
+
+    let mut exits = w.section(SEC_EXITS);
+    for i in 0..program.num_blocks() {
+        match program.exit(BlockId(i as u32)) {
+            BlockExit::Branch(targets) => {
+                exits.put_u8(EXIT_BRANCH);
+                exits.put_varint(targets.len() as u64);
+                for &(t, weight) in targets {
+                    exits.put_varint(u64::from(t.0));
+                    exits.put_f64(weight);
+                }
+            }
+            BlockExit::Call { callee, ret } => {
+                exits.put_u8(EXIT_CALL);
+                exits.put_varint(u64::from(callee.0));
+                exits.put_varint(u64::from(ret.0));
+            }
+            BlockExit::Return => exits.put_u8(EXIT_RETURN),
+        }
+    }
+    w.finish_section(exits);
+
+    let mut funcs = w.section(SEC_FUNCS);
+    for i in 0..program.num_funcs() {
+        let f = program.func(FuncId(i as u32));
+        let range = f.block_range();
+        funcs.put_varint(u64::from(f.entry().0));
+        funcs.put_varint(u64::from(range.start));
+        funcs.put_varint(u64::from(range.end - range.start));
+    }
+    w.finish_section(funcs);
+
+    let mut owner = w.section(SEC_OWNER);
+    for i in 0..program.num_blocks() {
+        owner.put_delta(u64::from(program.owner_of(BlockId(i as u32)).0));
+    }
+    w.finish_section(owner);
+
+    let mut paths = w.section(SEC_REQUEST_PATHS);
+    paths.put_varint(program.request_paths().len() as u64);
+    for path in program.request_paths() {
+        paths.put_varint(path.len() as u64);
+        for f in path {
+            paths.put_varint(u64::from(f.0));
+        }
+    }
+    w.finish_section(paths);
+
+    let mut events = w.section(SEC_TRACE);
+    events.put_str(trace.name());
+    events.put_varint(trace.len() as u64);
+    for b in trace.iter() {
+        events.put_delta(u64::from(b.0));
+    }
+    w.finish_section(events);
+
+    w.to_bytes()
+}
+
+/// Writes a recording to `path` (conventionally `*.itrace`).
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on filesystem failure.
+pub fn write_recording(program: &Program, trace: &Trace, path: &Path) -> Result<(), ArtifactError> {
+    std::fs::create_dir_all(path.parent().unwrap_or_else(|| Path::new(".")))
+        .map_err(|e| ArtifactError::io(path, e))?;
+    std::fs::write(path, recording_to_bytes(program, trace)).map_err(|e| ArtifactError::io(path, e))
+}
+
+/// Checked narrowing with a typed error instead of a panicking cast.
+fn narrow<T: TryFrom<u64>>(v: u64, what: &'static str) -> Result<T, ArtifactError> {
+    T::try_from(v).map_err(|_| ArtifactError::malformed(what, format!("value {v} out of range")))
+}
+
+/// Decodes a recording from artifact bytes.
+///
+/// The decoder is strict: every id is range-checked before any container
+/// type is constructed (their constructors panic on bad input, and corrupt
+/// bytes must never panic), and the reconstructed program must pass
+/// [`Program::validate`].
+///
+/// # Errors
+///
+/// Any container-level defect or payload-level inconsistency maps to a
+/// typed [`ArtifactError`].
+pub fn recording_from_bytes(bytes: &[u8]) -> Result<(Program, Trace), ArtifactError> {
+    let r = ArtifactReader::from_bytes(bytes, ArtifactKind::Trace)?;
+
+    let mut meta = r.require_section(SEC_META)?;
+    let name = meta.take_str()?;
+    let data_footprint_lines = meta.take_varint()?;
+    let branch_determinism = meta.take_f64()?;
+    let request_variants: u16 = narrow(meta.take_varint()?, "request variants")?;
+    let num_blocks: usize = narrow(meta.take_varint()?, "block count")?;
+    let num_funcs: usize = narrow(meta.take_varint()?, "function count")?;
+    meta.finish()?;
+    if !(0.0..=1.0).contains(&branch_determinism) {
+        return Err(ArtifactError::malformed(
+            "branch determinism",
+            format!("{branch_determinism} outside [0, 1]"),
+        ));
+    }
+    if data_footprint_lines == 0 || request_variants == 0 {
+        return Err(ArtifactError::malformed("program meta", "zero footprint or variants"));
+    }
+
+    let mut blocks_sec = r.require_section(SEC_BLOCKS)?;
+    let mut blocks = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        let start = blocks_sec.take_delta()?;
+        let bytes_: u32 = narrow(blocks_sec.take_varint()?, "block bytes")?;
+        let instrs: u16 = narrow(blocks_sec.take_varint()?, "block instrs")?;
+        let data_accesses: u8 = narrow(blocks_sec.take_varint()?, "block data accesses")?;
+        if bytes_ == 0 || instrs == 0 {
+            return Err(ArtifactError::malformed("block", "zero bytes or instructions"));
+        }
+        blocks.push(BasicBlock::new(Addr::new(start), bytes_, instrs, data_accesses));
+    }
+    blocks_sec.finish()?;
+
+    let in_blocks = |raw: u64, what: &'static str| -> Result<BlockId, ArtifactError> {
+        if (raw as usize) < num_blocks {
+            Ok(BlockId(raw as u32))
+        } else {
+            Err(ArtifactError::malformed(what, format!("block id {raw} out of range")))
+        }
+    };
+    let in_funcs = |raw: u64, what: &'static str| -> Result<FuncId, ArtifactError> {
+        if (raw as usize) < num_funcs {
+            Ok(FuncId(raw as u32))
+        } else {
+            Err(ArtifactError::malformed(what, format!("function id {raw} out of range")))
+        }
+    };
+
+    let mut exits_sec = r.require_section(SEC_EXITS)?;
+    let mut exits = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        exits.push(match exits_sec.take_u8()? {
+            EXIT_BRANCH => {
+                let n: usize = narrow(exits_sec.take_varint()?, "branch targets")?;
+                let mut targets = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let t = in_blocks(exits_sec.take_varint()?, "branch target")?;
+                    targets.push((t, exits_sec.take_f64()?));
+                }
+                BlockExit::Branch(targets)
+            }
+            EXIT_CALL => {
+                let callee = in_funcs(exits_sec.take_varint()?, "call callee")?;
+                let ret = in_blocks(exits_sec.take_varint()?, "call return")?;
+                BlockExit::Call { callee, ret }
+            }
+            EXIT_RETURN => BlockExit::Return,
+            t => return Err(ArtifactError::malformed("exit tag", format!("unknown tag {t}"))),
+        });
+    }
+    exits_sec.finish()?;
+
+    let mut funcs_sec = r.require_section(SEC_FUNCS)?;
+    let mut funcs = Vec::with_capacity(num_funcs);
+    for _ in 0..num_funcs {
+        let entry = in_blocks(funcs_sec.take_varint()?, "function entry")?;
+        let first: u32 = narrow(funcs_sec.take_varint()?, "function first block")?;
+        let count: u32 = narrow(funcs_sec.take_varint()?, "function block count")?;
+        if u64::from(first) + u64::from(count) > num_blocks as u64 {
+            return Err(ArtifactError::malformed("function", "block range out of bounds"));
+        }
+        funcs.push(Function::new(entry, first, count));
+    }
+    funcs_sec.finish()?;
+
+    let mut owner_sec = r.require_section(SEC_OWNER)?;
+    let mut owner = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        owner.push(in_funcs(owner_sec.take_delta()?, "block owner")?);
+    }
+    owner_sec.finish()?;
+
+    let mut paths_sec = r.require_section(SEC_REQUEST_PATHS)?;
+    let n_paths: usize = narrow(paths_sec.take_varint()?, "request path count")?;
+    let mut request_paths = Vec::with_capacity(n_paths.min(1 << 16));
+    for _ in 0..n_paths {
+        let len: usize = narrow(paths_sec.take_varint()?, "request path length")?;
+        let mut path = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            path.push(in_funcs(paths_sec.take_varint()?, "request path function")?);
+        }
+        request_paths.push(path);
+    }
+    paths_sec.finish()?;
+
+    let mut events_sec = r.require_section(SEC_TRACE)?;
+    let trace_name = events_sec.take_str()?;
+    let n_events: usize = narrow(events_sec.take_varint()?, "trace length")?;
+    let mut events = Vec::with_capacity(n_events.min(1 << 24));
+    for _ in 0..n_events {
+        events.push(in_blocks(events_sec.take_delta()?, "trace event")?);
+    }
+    events_sec.finish()?;
+
+    let mut program = Program::new(name, blocks, exits, funcs, owner, request_paths);
+    program.set_data_footprint_lines(data_footprint_lines);
+    program.set_branch_determinism(branch_determinism);
+    program.set_request_variants(request_variants);
+    program
+        .validate()
+        .map_err(|e| ArtifactError::malformed("program invariants", e.to_string()))?;
+
+    Ok((program, Trace::new(trace_name, events)))
+}
+
+/// Reads a recording from `path`.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on filesystem failure, otherwise as
+/// [`recording_from_bytes`].
+pub fn read_recording(path: &Path) -> Result<(Program, Trace), ArtifactError> {
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::io(path, e))?;
+    recording_from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::exec::InputSpec;
+
+    fn sample() -> (Program, Trace) {
+        let model = apps::wordpress().scaled_down(60);
+        let program = model.generate();
+        let trace = program.record_trace(model.default_input(), 2_000);
+        (program, trace)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (program, trace) = sample();
+        let bytes = recording_to_bytes(&program, &trace);
+        let (p2, t2) = recording_from_bytes(&bytes).unwrap();
+        assert_eq!(p2.name(), program.name());
+        assert_eq!(p2.num_blocks(), program.num_blocks());
+        assert_eq!(p2.num_funcs(), program.num_funcs());
+        assert_eq!(p2.blocks(), program.blocks());
+        assert_eq!(p2.data_footprint_lines(), program.data_footprint_lines());
+        assert_eq!(p2.branch_determinism().to_bits(), program.branch_determinism().to_bits());
+        assert_eq!(p2.request_variants(), program.request_variants());
+        assert_eq!(p2.request_paths(), program.request_paths());
+        for i in 0..program.num_blocks() {
+            let b = BlockId(i as u32);
+            assert_eq!(p2.exit(b), program.exit(b));
+            assert_eq!(p2.owner_of(b), program.owner_of(b));
+        }
+        assert_eq!(t2, trace);
+    }
+
+    #[test]
+    fn reencoding_is_byte_identical() {
+        // Determinism of the encoder itself: encode(decode(encode(x)))
+        // must reproduce the same bytes, or cache keys would churn.
+        let (program, trace) = sample();
+        let bytes = recording_to_bytes(&program, &trace);
+        let (p2, t2) = recording_from_bytes(&bytes).unwrap();
+        assert_eq!(recording_to_bytes(&p2, &t2), bytes);
+    }
+
+    #[test]
+    fn replayed_walk_matches_original() {
+        // A loaded program must generate the same traces as the original:
+        // the walker's behaviour depends on every serialized field.
+        let (program, trace) = sample();
+        let bytes = recording_to_bytes(&program, &trace);
+        let (p2, _) = recording_from_bytes(&bytes).unwrap();
+        let input = InputSpec::uniform(7, program.request_paths().len());
+        let a = program.record_trace(input.clone(), 3_000);
+        let b = p2.record_trace(input, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_trace_event_is_malformed() {
+        let (program, _) = sample();
+        let bogus = Trace::new("bad", vec![BlockId(program.num_blocks() as u32)]);
+        let bytes = recording_to_bytes(&program, &bogus);
+        assert!(matches!(
+            recording_from_bytes(&bytes),
+            Err(ArtifactError::Malformed { context: "trace event", .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (program, trace) = sample();
+        let dir = std::env::temp_dir().join(format!("ispy-itrace-test-{}", std::process::id()));
+        let path = dir.join("sample.itrace");
+        write_recording(&program, &trace, &path).unwrap();
+        let (p2, t2) = read_recording(&path).unwrap();
+        assert_eq!(p2.name(), program.name());
+        assert_eq!(t2, trace);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -33,9 +33,11 @@
 
 pub mod addr;
 pub mod apps;
+pub mod artifact;
 pub mod block;
 pub mod exec;
 pub mod gen;
+pub mod ingest;
 pub mod program;
 pub mod rng;
 pub mod trace;
