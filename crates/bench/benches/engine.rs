@@ -1,67 +1,24 @@
 //! Engine-throughput benchmark: blocks/sec through `ispy_sim::run` for the
-//! four configurations every figure driver pays for.
-//!
-//! Unlike the criterion-shim benches, this one owns its measurement loop so
-//! it can report blocks/sec directly and export machine-readable JSON — the
-//! committed `BENCH_engine.json` seeds the engine perf trajectory and CI
-//! runs it in `--quick` mode as a release-build throughput smoke test.
+//! five configurations every figure driver pays for. The measurement loop
+//! itself lives in [`ispy_harness::enginebench`] so `repro bench` and this
+//! target report the same numbers; this binary adds the CLI and the JSON
+//! history writer.
 //!
 //! Usage (arguments also accepted via `cargo bench -- <args>`):
 //!
 //! ```text
-//! cargo bench -p ispy-bench --bench engine            # full measurement
-//! cargo bench -p ispy-bench --bench engine -- --quick # CI smoke sizing
-//! cargo bench -p ispy-bench --bench engine -- --json out.json
+//! cargo bench -p ispy-bench --bench engine             # full measurement
+//! cargo bench -p ispy-bench --bench engine -- --quick  # CI smoke sizing
+//! cargo bench -p ispy-bench --bench engine -- \
+//!     --json BENCH_engine.json --label post_fastpath   # append to history
 //! ```
+//!
+//! `--json` *appends* a labelled entry to the file's ordered `history`
+//! array (creating the file if needed); committed measurement sections are
+//! never overwritten, so the perf trajectory across reworks stays legible.
 
-use ispy_harness::workload::miss_derived_plan;
-use ispy_isa::InjectionMap;
-use ispy_sim::{run, HwPrefetcher, OutcomeLedger, RunOptions, SimConfig};
-use ispy_trace::{apps, Line, Program, Trace};
-use std::time::Instant;
-
-/// Next-line-on-miss hardware prefetcher, the simplest hook that keeps the
-/// in-flight bookkeeping busy.
-struct NextLine;
-
-impl HwPrefetcher for NextLine {
-    fn on_fetch(&mut self, line: Line, was_miss: bool, out: &mut Vec<Line>) {
-        if was_miss {
-            out.push(line.offset(1));
-        }
-    }
-}
-
-struct Workload {
-    program: Program,
-    trace: Trace,
-    cfg: SimConfig,
-    plan: InjectionMap,
-    events: usize,
-}
-
-fn prepare(quick: bool) -> Workload {
-    let (shrink, events) = if quick { (20, 50_000) } else { (10, 200_000) };
-    let model = apps::cassandra().scaled_down(shrink);
-    let program = model.generate();
-    let trace = program.record_trace(model.default_input(), events);
-    let cfg = SimConfig::default();
-    let plan = miss_derived_plan(&program, &trace, &cfg);
-    Workload { program, trace, cfg, plan, events }
-}
-
-/// Times `f` over `reps` repetitions (after one warmup run) and returns the
-/// best observed blocks/sec — the least-noise estimate of engine throughput.
-fn measure(events: usize, reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warmup
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    events as f64 / best
-}
+use ispy_harness::enginebench::{append_history, history_entry, run_engine_bench};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,69 +30,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .or_else(|| std::env::var("ISPY_BENCH_JSON").ok());
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| if quick { "run_quick".to_string() } else { "run".to_string() });
 
-    let reps = if quick { 2 } else { 5 };
-    let w = prepare(quick);
-    let events = w.events;
-
-    let baseline = measure(events, reps, || {
-        run(&w.program, &w.trace, &w.cfg, RunOptions::default());
-    });
-    let injected = measure(events, reps, || {
-        run(
-            &w.program,
-            &w.trace,
-            &w.cfg,
-            RunOptions { injections: Some(&w.plan), ..Default::default() },
-        );
-    });
-    let injected_ledger = measure(events, reps, || {
-        let mut ledger = OutcomeLedger::default();
-        run(
-            &w.program,
-            &w.trace,
-            &w.cfg,
-            RunOptions {
-                injections: Some(&w.plan),
-                outcomes: Some(&mut ledger),
-                ..Default::default()
-            },
-        );
-    });
-    let hw_prefetcher = measure(events, reps, || {
-        let mut hw = NextLine;
-        run(
-            &w.program,
-            &w.trace,
-            &w.cfg,
-            RunOptions { hw_prefetcher: Some(&mut hw), ..Default::default() },
-        );
-    });
-
-    let rows: [(&str, f64); 4] = [
-        ("baseline", baseline),
-        ("injected", injected),
-        ("injected_ledger", injected_ledger),
-        ("hw_prefetcher", hw_prefetcher),
-    ];
-    for (name, bps) in rows {
-        println!("bench engine/{name:<30} {bps:>14.0} blocks/s");
+    let bench = run_engine_bench(quick);
+    for row in &bench.rows {
+        println!("bench engine/{:<30} {:>14.0} blocks/s", row.name, row.blocks_per_sec);
     }
 
     if let Some(path) = json_path {
-        let mut out = String::from("{\n");
-        out.push_str("  \"bench\": \"engine\",\n");
-        out.push_str(&format!("  \"app\": \"{}\",\n", w.program.name()));
-        out.push_str(&format!("  \"events\": {events},\n"));
-        out.push_str(&format!("  \"reps\": {reps},\n"));
-        out.push_str(&format!("  \"quick\": {quick},\n"));
-        out.push_str("  \"blocks_per_sec\": {\n");
-        for (i, (name, bps)) in rows.iter().enumerate() {
-            let comma = if i + 1 < rows.len() { "," } else { "" };
-            out.push_str(&format!("    \"{name}\": {bps:.0}{comma}\n"));
+        let path = PathBuf::from(path);
+        if let Err(e) = append_history(&path, history_entry(&bench, &label)) {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
-        out.push_str("  }\n}\n");
-        std::fs::write(&path, out).expect("write bench json");
-        eprintln!("wrote {path}");
+        eprintln!("appended `{label}` to {}", path.display());
     }
 }

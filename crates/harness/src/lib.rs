@@ -21,8 +21,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod enginebench;
 pub mod explain;
 pub mod figures;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod session;

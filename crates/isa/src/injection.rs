@@ -6,7 +6,7 @@
 //! footprint accounting the paper reports in Figs. 4/14.
 
 use crate::ops::PrefetchOp;
-use ispy_trace::BlockId;
+use ispy_trace::{BlockId, Line};
 use std::collections::BTreeMap;
 
 /// Identity of one planned injection, assigned by the planner in emission
@@ -205,6 +205,109 @@ pub struct CompiledInjections {
     starts: Vec<u32>,
     ops: Vec<PrefetchOp>,
     ids: Vec<Option<ProvenanceId>>,
+    /// The injection-skip index: bit `b` set iff block `b` has ops. The
+    /// replay engine tests this one word per event to batch over runs of
+    /// injection-free blocks without touching the offset table at all.
+    site_bits: Vec<u64>,
+    /// Branch-free lowering of `ops`, index-aligned with `ops`/`ids`.
+    compiled: Vec<CompiledOp>,
+    /// Every op's target lines, flattened base-first; a [`CompiledOp`]
+    /// addresses its slice by range so firing never re-decodes a coalesce
+    /// mask bit-by-bit.
+    lines: Vec<Line>,
+}
+
+/// One prefetch op in the form the replay engine's hot loop consumes: the
+/// condition as a raw bitmask (`0` for unconditional ops — the subset test
+/// `bits & !runtime == 0` then trivially passes, so firing needs no branch
+/// on op kind), the target lines pre-flattened, and the L1I presence-shadow
+/// words and masks covering those lines so an all-resident firing — the
+/// steady state — is two `u64` AND-compares instead of a per-line walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledOp {
+    /// Context-hash bit pattern the condition requires; `0` when the op is
+    /// unconditional. The op fires iff `ctx_bits & !runtime_hash == 0`.
+    pub ctx_bits: u64,
+    /// This op's range in [`CompiledInjections::op_lines`]' backing array.
+    lines_lo: u32,
+    lines_hi: u32,
+    /// Presence-shadow word indices covering every target line; meaningful
+    /// only when [`CompiledOp::shadow_batchable`] is set. Single-word ops
+    /// duplicate the word with an empty second mask.
+    pub shadow_words: [u32; 2],
+    /// Required bits within [`CompiledOp::shadow_words`].
+    pub shadow_masks: [u64; 2],
+    /// Highest target line id; the engine only takes the shadow-batched
+    /// residency check when this is below the shadow's line limit.
+    pub max_line: u64,
+    /// Whether the two shadow word/mask pairs cover all target lines (ops
+    /// spanning more than two words fall back to the per-line path).
+    pub shadow_batchable: bool,
+    /// Provenance of the planner decision that emitted the op, if tracked.
+    pub id: Option<ProvenanceId>,
+}
+
+impl CompiledOp {
+    /// Number of lines the op prefetches when it fires.
+    #[inline]
+    pub fn num_lines(&self) -> u64 {
+        u64::from(self.lines_hi - self.lines_lo)
+    }
+}
+
+/// Lowers one op into its [`CompiledOp`] form, appending its target lines
+/// (base first, then coalesced extras in mask order — the exact order the
+/// interpreted path issues them) to `lines`.
+fn lower_op(op: &PrefetchOp, id: Option<ProvenanceId>, lines: &mut Vec<Line>) -> CompiledOp {
+    let ctx_bits = op.condition().map_or(0, |c| c.bits());
+    let lo = lines.len();
+    lines.push(op.base_line());
+    if let PrefetchOp::Coalesced { base, mask } | PrefetchOp::CondCoalesced { base, mask, .. } = op
+    {
+        lines.extend(mask.decode(*base));
+    }
+    let mut shadow_words = [0u32; 2];
+    let mut shadow_masks = [0u64; 2];
+    let mut used = 0usize;
+    let mut shadow_batchable = true;
+    let mut max_line = 0u64;
+    for l in &lines[lo..] {
+        let raw = l.raw();
+        max_line = max_line.max(raw);
+        let word = raw >> 6;
+        if word > u64::from(u32::MAX) {
+            // Beyond any shadow the engine could enable; the max_line guard
+            // would reject the batch anyway, so don't bother encoding it.
+            shadow_batchable = false;
+            continue;
+        }
+        let (word, bit) = (word as u32, 1u64 << (raw & 63));
+        if let Some(i) = shadow_words[..used].iter().position(|&w| w == word) {
+            shadow_masks[i] |= bit;
+        } else if used < 2 {
+            shadow_words[used] = word;
+            shadow_masks[used] = bit;
+            used += 1;
+        } else {
+            shadow_batchable = false;
+        }
+    }
+    if used == 1 {
+        // Point the unused pair at the same word with no required bits so
+        // the engine's unconditional two-word test stays in bounds.
+        shadow_words[1] = shadow_words[0];
+        shadow_masks[1] = 0;
+    }
+    CompiledOp {
+        ctx_bits,
+        lines_lo: lo as u32,
+        lines_hi: lines.len() as u32,
+        shadow_words,
+        shadow_masks,
+        max_line,
+        shadow_batchable,
+        id,
+    }
 }
 
 impl CompiledInjections {
@@ -221,11 +324,20 @@ impl CompiledInjections {
         let mut starts = vec![0u32; limit + 1];
         let mut ops = Vec::with_capacity(total);
         let mut ids = Vec::with_capacity(total);
+        let mut site_bits = vec![0u64; limit.div_ceil(64)];
+        let mut compiled = Vec::with_capacity(total);
+        let mut lines = Vec::with_capacity(total);
         let mut next = 0usize;
         for (site, s) in &map.per_block {
             let b = site.index();
             for slot in &mut starts[next..=b] {
                 *slot = ops.len() as u32;
+            }
+            if !s.ops.is_empty() {
+                site_bits[b >> 6] |= 1 << (b & 63);
+            }
+            for (op, id) in s.ops.iter().zip(&s.ids) {
+                compiled.push(lower_op(op, *id, &mut lines));
             }
             ops.extend_from_slice(&s.ops);
             ids.extend_from_slice(&s.ids);
@@ -234,7 +346,8 @@ impl CompiledInjections {
         for slot in &mut starts[next..=limit] {
             *slot = ops.len() as u32;
         }
-        CompiledInjections { starts, ops, ids }
+        assert!(u32::try_from(lines.len()).is_ok(), "injection map too large to compile");
+        CompiledInjections { starts, ops, ids, site_bits, compiled, lines }
     }
 
     /// The ops injected at `site` (empty for sites out of range).
@@ -260,6 +373,55 @@ impl CompiledInjections {
         }
         let (lo, hi) = (self.starts[b] as usize, self.starts[b + 1] as usize);
         (&self.ops[lo..hi], &self.ids[lo..hi])
+    }
+
+    /// Whether any ops are injected at `site` — one word test against the
+    /// skip index, cheaper than [`CompiledInjections::site`] when the answer
+    /// is usually "no" (the replay engine's per-event case).
+    #[inline]
+    pub fn has_ops(&self, site: BlockId) -> bool {
+        let b = site.index();
+        match self.site_bits.get(b >> 6) {
+            Some(&word) => word >> (b & 63) & 1 != 0,
+            None => false,
+        }
+    }
+
+    /// The branch-free lowered ops at `site` (empty for sites out of range),
+    /// index-aligned with [`CompiledInjections::ops_at`].
+    #[inline]
+    pub fn compiled_site(&self, site: BlockId) -> &[CompiledOp] {
+        let b = site.index();
+        if b + 1 >= self.starts.len() {
+            return &[];
+        }
+        let (lo, hi) = (self.starts[b] as usize, self.starts[b + 1] as usize);
+        &self.compiled[lo..hi]
+    }
+
+    /// The target lines of one lowered op, base first, in issue order.
+    #[inline]
+    pub fn op_lines(&self, op: &CompiledOp) -> &[Line] {
+        &self.lines[op.lines_lo as usize..op.lines_hi as usize]
+    }
+
+    /// `site`'s index range in [`CompiledInjections::compiled_ops`] (empty
+    /// for sites out of range). Lets a caller keep side tables parallel to
+    /// the compiled op array and address them per site.
+    #[inline]
+    pub fn site_range(&self, site: BlockId) -> std::ops::Range<usize> {
+        let b = site.index();
+        if b + 1 >= self.starts.len() {
+            return 0..0;
+        }
+        self.starts[b] as usize..self.starts[b + 1] as usize
+    }
+
+    /// Every lowered op across every site, in [`CompiledInjections::site_range`]
+    /// order.
+    #[inline]
+    pub fn compiled_ops(&self) -> &[CompiledOp] {
+        &self.compiled
     }
 
     /// Total number of compiled ops.
@@ -401,6 +563,104 @@ mod tests {
         assert_eq!(c.ops_at(BlockId(20)).len(), 1);
         assert!(c.ops_at(BlockId(3)).is_empty());
         assert!(c.ops_at(BlockId(21)).is_empty());
+    }
+
+    #[test]
+    fn skip_index_matches_site_table() {
+        let mut m = InjectionMap::new();
+        m.push(BlockId(0), plain(1));
+        m.push(BlockId(63), plain(2));
+        m.push(BlockId(64), plain(3));
+        m.push(BlockId(200), plain(4));
+        let c = m.compile(128);
+        for b in 0..260u32 {
+            assert_eq!(
+                c.has_ops(BlockId(b)),
+                !c.ops_at(BlockId(b)).is_empty(),
+                "skip index diverges at B{b}"
+            );
+        }
+        assert!(!c.has_ops(BlockId(1_000_000)));
+        assert!(!CompiledInjections::default().has_ops(BlockId(0)));
+    }
+
+    #[test]
+    fn lowered_ops_match_interpreted_semantics() {
+        use crate::context::HashConfig;
+        use crate::ops::CoalesceMask;
+        let hash = HashConfig::default();
+        let ctx = hash.context_hash([ispy_trace::Addr::new(0x400000)]);
+        let mask = CoalesceMask::from_bits(0b101, 8);
+        let ops = [
+            PrefetchOp::Plain { target: Line::new(70) },
+            PrefetchOp::Cond { target: Line::new(71), ctx },
+            PrefetchOp::Coalesced { base: Line::new(100), mask },
+            PrefetchOp::CondCoalesced { base: Line::new(200), mask, ctx },
+        ];
+        let mut m = InjectionMap::new();
+        for op in ops {
+            m.push(BlockId(5), op);
+        }
+        let c = m.compile(8);
+        let lowered = c.compiled_site(BlockId(5));
+        assert_eq!(lowered.len(), ops.len());
+        for (cop, op) in lowered.iter().zip(&ops) {
+            assert_eq!(cop.ctx_bits, op.condition().map_or(0, |x| x.bits()), "{op}");
+            assert_eq!(c.op_lines(cop), op.target_lines(), "{op}");
+            assert_eq!(cop.num_lines() as usize, op.target_lines().len());
+            assert_eq!(cop.max_line, op.target_lines().iter().map(|l| l.raw()).max().unwrap());
+            // The fire test must agree with the interpreted one for any
+            // runtime hash.
+            for runtime in [0u64, ctx.bits(), u64::MAX, 0b1010101] {
+                assert_eq!(cop.ctx_bits & !runtime == 0, op.fires(runtime), "{op} vs {runtime:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_masks_cover_exactly_the_target_lines() {
+        use crate::ops::CoalesceMask;
+        // Lines 62, 63+1=64.. straddle a word boundary: two words used.
+        let mask = CoalesceMask::from_bits(0b11, 8);
+        let mut m = InjectionMap::new();
+        m.push(BlockId(0), PrefetchOp::Coalesced { base: Line::new(62), mask });
+        m.push(BlockId(0), plain(9)); // single-word op
+        let c = m.compile(1);
+        let [two_words, one_word] = c.compiled_site(BlockId(0)) else { panic!("two ops") };
+        for cop in [two_words, one_word] {
+            assert!(cop.shadow_batchable);
+            let mut covered: Vec<u64> = Vec::new();
+            for (w, bits) in cop.shadow_words.iter().zip(cop.shadow_masks) {
+                for b in 0..64u64 {
+                    if bits >> b & 1 != 0 {
+                        covered.push(u64::from(*w) * 64 + b);
+                    }
+                }
+            }
+            covered.sort_unstable();
+            let mut expect: Vec<u64> = c.op_lines(cop).iter().map(|l| l.raw()).collect();
+            expect.sort_unstable();
+            assert_eq!(covered, expect);
+        }
+        assert_eq!(one_word.shadow_masks[1], 0, "single-word op pads with an empty mask");
+        assert_eq!(one_word.shadow_words[1], one_word.shadow_words[0]);
+    }
+
+    #[test]
+    fn absurdly_far_lines_are_not_batchable() {
+        // A coalesce window is at most 65 consecutive lines, so an op can
+        // never span three shadow words; the only non-batchable case is a
+        // line whose shadow word index would overflow the u32 encoding.
+        // Such lines also sit far beyond any shadow limit, so nothing is
+        // lost — the op just keeps the per-line path.
+        let far = 1u64 << 39;
+        let mut m = InjectionMap::new();
+        m.push(BlockId(0), plain(far));
+        let c = m.compile(1);
+        let cop = &c.compiled_site(BlockId(0))[0];
+        assert!(!cop.shadow_batchable);
+        assert_eq!(c.op_lines(cop), &[Line::new(far)]);
+        assert_eq!(cop.max_line, far);
     }
 
     #[test]

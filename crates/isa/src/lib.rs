@@ -26,5 +26,5 @@ pub mod injection;
 pub mod ops;
 
 pub use context::{ContextHash, HashConfig};
-pub use injection::{CompiledInjections, InjectionMap, ProvenanceId};
+pub use injection::{CompiledInjections, CompiledOp, InjectionMap, ProvenanceId};
 pub use ops::{CoalesceMask, PrefetchOp};

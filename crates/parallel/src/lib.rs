@@ -70,7 +70,37 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = threads().min(n);
+    par_collect_with(threads(), n, f)
+}
+
+/// [`par_collect`] with an explicit worker count instead of the process-wide
+/// budget. The simulator's time-sliced shard replay uses this so a caller's
+/// `ShardConfig::shards` choice maps to exactly that many workers (bounded
+/// by the item count) without disturbing the global `--jobs` setting.
+///
+/// Output is identical for any `max_workers` value — results are collected
+/// by item index, like every fan-out in this crate.
+///
+/// # Examples
+///
+/// ```
+/// let squares = ispy_parallel::par_collect_bounded(2, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub fn par_collect_bounded<R, F>(max_workers: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_collect_with(max_workers.max(1), n, f)
+}
+
+fn par_collect_with<R, F>(workers: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.min(n);
     let nested = IN_WORKER.with(|w| w.load(Ordering::Relaxed));
     if workers <= 1 || nested {
         return (0..n).map(f).collect();
@@ -193,6 +223,16 @@ mod tests {
         let flat: Vec<usize> = v.into_iter().flatten().collect();
         assert_eq!(flat, (0..16).collect::<Vec<_>>());
         set_threads(0);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded() {
+        let a = par_collect(37, |i| i * 7);
+        for workers in [1, 2, 4, 8, 64] {
+            assert_eq!(par_collect_bounded(workers, 37, |i| i * 7), a);
+        }
+        // A zero request degrades to one worker rather than deadlocking.
+        assert_eq!(par_collect_bounded(0, 3, |i| i), vec![0, 1, 2]);
     }
 
     #[test]

@@ -157,7 +157,15 @@ impl Cache {
         let raw = line.raw();
         let pos = set.iter().position(|&s| s >> 1 == raw)?;
         let was_untouched = set[pos] & 1 == 1;
-        set[..=pos].rotate_right(1);
+        // Shift [0, pos) right one and write the promoted line at MRU. An
+        // element loop, not `copy_within`: the dynamic-length copy lowers to
+        // a libc memmove call whose overhead dwarfs these ≤ 20-slot moves,
+        // and the common MRU re-hit (pos = 0) skips the loop entirely.
+        let mut i = pos;
+        while i > 0 {
+            set[i] = set[i - 1];
+            i -= 1;
+        }
         set[0] = raw << 1;
         Some(was_untouched)
     }
@@ -192,7 +200,9 @@ impl Cache {
             let set = &mut self.slots[base..base + occ];
             if let Some(pos) = set.iter().position(|&s| s >> 1 == raw) {
                 entry = Some(set[pos]);
-                set[pos..].rotate_left(1);
+                for i in pos..occ - 1 {
+                    set[i] = set[i + 1];
+                }
                 occ -= 1;
             }
         }
@@ -211,8 +221,14 @@ impl Cache {
             InsertPriority::Lru => occ,
         }
         .min(occ);
+        // Shift [pos, occ) right one and write the entry — an element loop
+        // for the same reason as in `demand`.
         let set = &mut self.slots[base..base + occ + 1];
-        set[pos..].rotate_right(1);
+        let mut i = occ;
+        while i > pos {
+            set[i] = set[i - 1];
+            i -= 1;
+        }
         set[pos] = entry;
         self.occ[si] = (occ + 1) as u32;
         outcome
@@ -226,7 +242,9 @@ impl Cache {
         let set = &mut self.slots[base..base + occ];
         let raw = line.raw();
         if let Some(pos) = set.iter().position(|&s| s >> 1 == raw) {
-            set[pos..].rotate_left(1);
+            for i in pos..occ - 1 {
+                set[i] = set[i + 1];
+            }
             self.occ[si] = (occ - 1) as u32;
             true
         } else {

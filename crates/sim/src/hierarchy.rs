@@ -55,7 +55,30 @@ pub struct Hierarchy {
     /// scanning the cache, so the shadow is never a correctness question —
     /// only a fast path.
     l1i_shadow: Vec<u64>,
+    /// Same exact-mirror bitmaps for the shared L2/L3, over the code-line
+    /// range plus (after [`Hierarchy::enable_data_shadow`]) the data-line
+    /// range, whose words are appended after the code words. The injected
+    /// hot path asks "where would this prefetch be served from?" for every
+    /// issued line, and every data load asks "which shared level holds this
+    /// line?"; with the shadows, known misses skip the scans over the
+    /// (large, cache-hostile) L2/L3 slot arrays entirely.
+    l2_shadow: Vec<u64>,
+    l3_shadow: Vec<u64>,
     shadow_limit: u64,
+    /// First line id of the shadowed data range (`u64::MAX` = disabled).
+    data_base: u64,
+    /// One past the last shadowed data line id.
+    data_limit: u64,
+    /// Word index where the data range's shadow words start.
+    data_words: usize,
+    /// Line-id range ever filled into L1D (inclusive watermarks; min >
+    /// max = never filled). The prefetch-latency walk probes L1D for every
+    /// issued line even though the engine only loads data lines into it;
+    /// the watermark turns those provably-absent probes into two compares.
+    /// Never shrinks on eviction, so it over-approximates — absent outside
+    /// the range is exact, inside falls back to the scan.
+    l1d_min: u64,
+    l1d_max: u64,
 }
 
 /// Upper bound on shadowed line ids (8 MiB of bitmap). Programs the
@@ -78,18 +101,72 @@ impl Hierarchy {
             lat_mem: cfg.lat.mem,
             prefetch_insert: cfg.prefetch_insert,
             l1i_shadow: Vec::new(),
+            l2_shadow: Vec::new(),
+            l3_shadow: Vec::new(),
             shadow_limit: 0,
+            data_base: u64::MAX,
+            data_limit: 0,
+            data_words: 0,
+            l1d_min: u64::MAX,
+            l1d_max: 0,
         }
     }
 
-    /// Enables the L1I presence shadow for lines `0..line_limit` (clamped to
-    /// an 8 MiB bitmap). Must be called while L1I is still empty — i.e.
-    /// before any fetch or prefetch — which is when the engine calls it.
+    /// Enables the L1I/L2/L3 presence shadows for lines `0..line_limit`
+    /// (clamped to an 8 MiB bitmap each). Must be called while the hierarchy
+    /// is still empty — i.e. before any fetch or prefetch — which is when
+    /// the engine calls it.
     pub fn enable_l1i_shadow(&mut self, line_limit: u64) {
         debug_assert_eq!(self.l1i.occupancy(), 0, "shadow must start from an empty L1I");
+        debug_assert_eq!(
+            self.l2.occupancy() + self.l3.occupancy(),
+            0,
+            "shadow must start from empty shared levels"
+        );
         let limit = line_limit.min(SHADOW_LINE_CAP);
-        self.l1i_shadow = vec![0u64; (limit as usize).div_ceil(64)];
+        let words = (limit as usize).div_ceil(64);
+        self.l1i_shadow = vec![0u64; words];
+        self.l2_shadow = vec![0u64; words];
+        self.l3_shadow = vec![0u64; words];
         self.shadow_limit = limit;
+    }
+
+    /// Extends the L2/L3 presence shadows over the `data_lines`-line data
+    /// range starting at `data_base` (clamped to an 8 MiB bitmap), so data
+    /// loads answer "which shared level?" by bit test too. Requires the code
+    /// shadows to be enabled first and, like them, must be called while the
+    /// shared levels are still empty. L1I is never extended: only code lines
+    /// are ever fetched or prefetched into it.
+    pub fn enable_data_shadow(&mut self, data_base: u64, data_lines: u64) {
+        debug_assert!(self.shadow_limit > 0, "enable the code-range shadows first");
+        debug_assert_eq!(
+            self.l2.occupancy() + self.l3.occupancy(),
+            0,
+            "shadow must start from empty shared levels"
+        );
+        debug_assert!(data_base >= self.shadow_limit, "data range overlaps code range");
+        let words = (data_lines.min(SHADOW_LINE_CAP) as usize).div_ceil(64);
+        self.data_words = self.l2_shadow.len();
+        self.l2_shadow.resize(self.data_words + words, 0);
+        self.l3_shadow.resize(self.data_words + words, 0);
+        self.data_base = data_base;
+        // Whole trailing words are covered exactly: any line in them is
+        // tracked at the same fill/evict points as the rest of the range.
+        self.data_limit = data_base + (words as u64) * 64;
+    }
+
+    /// The `(word, bit)` slot of `raw` in the shared L2/L3 shadows, or
+    /// `None` for lines outside both shadowed ranges.
+    #[inline]
+    fn shared_shadow_pos(&self, raw: u64) -> Option<(usize, u64)> {
+        if raw < self.shadow_limit {
+            Some(((raw >> 6) as usize, 1u64 << (raw & 63)))
+        } else if raw >= self.data_base && raw < self.data_limit {
+            let off = raw - self.data_base;
+            Some((self.data_words + (off >> 6) as usize, 1u64 << (off & 63)))
+        } else {
+            None
+        }
     }
 
     #[inline]
@@ -132,6 +209,31 @@ impl Hierarchy {
             ResidencyLevel::L3 => self.lat_l3,
             ResidencyLevel::Memory => self.lat_mem,
         }
+    }
+
+    /// The line-id limit of the enabled L1I presence shadow (0 = disabled).
+    /// Lines below it answer [`Hierarchy::in_l1i`] from the shadow bitmap.
+    #[inline]
+    pub fn l1i_shadow_limit(&self) -> u64 {
+        self.shadow_limit
+    }
+
+    /// Whether every bit of `masks` is set in the respective shadow `words`
+    /// — the batched "are all of this op's target lines already in L1I?"
+    /// probe. The caller guarantees the word indices are in range, i.e. every
+    /// covered line id is below [`Hierarchy::l1i_shadow_limit`] (compiled
+    /// injection plans carry `max_line` for exactly this check).
+    #[inline]
+    pub fn l1i_shadow_covers(&self, words: [u32; 2], masks: [u64; 2]) -> bool {
+        (self.l1i_shadow[words[0] as usize] & masks[0]) == masks[0]
+            && (self.l1i_shadow[words[1] as usize] & masks[1]) == masks[1]
+    }
+
+    /// One word of the L1I presence shadow; the caller guarantees the index
+    /// is in range (below `l1i_shadow_limit / 64`).
+    #[inline]
+    pub fn l1i_shadow_word(&self, word: u32) -> u64 {
+        self.l1i_shadow[word as usize]
     }
 
     /// Whether `line` is resident in the L1 I-cache.
@@ -191,6 +293,9 @@ impl Hierarchy {
         }
         let (level, total_lat) = self.lookup_fill_shared(line);
         self.l1d.fill(line, InsertPriority::Mru, false);
+        let raw = line.raw();
+        self.l1d_min = self.l1d_min.min(raw);
+        self.l1d_max = self.l1d_max.max(raw);
         AccessOutcome { level, extra_cycles: total_lat - self.lat_l1d, evicted_untouched: None }
     }
 
@@ -198,7 +303,7 @@ impl Hierarchy {
     /// priority, marking the line for usefulness accounting. Returns the
     /// untouched prefetched line evicted from L1I to make room, if any.
     pub fn prefetch_fill(&mut self, line: Line) -> Option<Line> {
-        self.l2.fill(line, self.prefetch_insert, true);
+        self.fill_l2(line, self.prefetch_insert, true);
         let out = self.l1i.fill(line, self.prefetch_insert, true);
         self.shadow_set(line);
         self.shadow_clear(out.evicted);
@@ -216,11 +321,22 @@ impl Hierarchy {
 
     /// [`Hierarchy::prefetch_latency`] for a line the caller has already
     /// established (via [`Hierarchy::in_l1i`]) to be absent from L1I — skips
-    /// the redundant L1I scan of the full `residency` walk.
+    /// the redundant L1I scan of the full `residency` walk, and answers from
+    /// the L2/L3 presence shadows (bit tests) for lines they cover.
     #[inline]
     pub fn prefetch_latency_missing_l1i(&self, line: Line) -> u32 {
-        if self.l1d.contains(line) {
+        let raw = line.raw();
+        if raw >= self.l1d_min && raw <= self.l1d_max && self.l1d.contains(line) {
             self.lat_l1i // ResidencyLevel::L1, as `residency` reports it
+        } else if raw < self.shadow_limit {
+            let (word, bit) = ((raw >> 6) as usize, 1u64 << (raw & 63));
+            if self.l2_shadow[word] & bit != 0 {
+                self.lat_l2
+            } else if self.l3_shadow[word] & bit != 0 {
+                self.lat_l3
+            } else {
+                self.lat_mem
+            }
         } else if self.l2.contains(line) {
             self.lat_l2
         } else if self.l3.contains(line) {
@@ -230,16 +346,60 @@ impl Hierarchy {
         }
     }
 
+    /// [`Cache::fill`] into L2, keeping its presence shadow exact.
+    fn fill_l2(&mut self, line: Line, priority: InsertPriority, prefetched: bool) {
+        let out = self.l2.fill(line, priority, prefetched);
+        if let Some((w, b)) = self.shared_shadow_pos(line.raw()) {
+            self.l2_shadow[w] |= b;
+        }
+        if let Some((w, b)) = out.evicted.and_then(|e| self.shared_shadow_pos(e.raw())) {
+            self.l2_shadow[w] &= !b;
+        }
+    }
+
+    /// [`Cache::fill`] into L3, keeping its presence shadow exact.
+    fn fill_l3(&mut self, line: Line, priority: InsertPriority, prefetched: bool) {
+        let out = self.l3.fill(line, priority, prefetched);
+        if let Some((w, b)) = self.shared_shadow_pos(line.raw()) {
+            self.l3_shadow[w] |= b;
+        }
+        if let Some((w, b)) = out.evicted.and_then(|e| self.shared_shadow_pos(e.raw())) {
+            self.l3_shadow[w] &= !b;
+        }
+    }
+
     /// Serves a miss from the shared levels, filling them on the way.
+    ///
+    /// For shadowed lines the presence bits decide which level serves the
+    /// access before any set is scanned: a demand [`Cache::access`] mutates
+    /// state only when it hits (recency promotion), so skipping it on a
+    /// shadow-proven miss is invisible, and the one access that does run is
+    /// the one that hits.
     fn lookup_fill_shared(&mut self, line: Line) -> (ResidencyLevel, u32) {
+        if let Some((w, b)) = self.shared_shadow_pos(line.raw()) {
+            return if self.l2_shadow[w] & b != 0 {
+                let hit = self.l2.access(line);
+                debug_assert!(hit, "L2 shadow bit set for absent line {line:?}");
+                (ResidencyLevel::L2, self.lat_l2)
+            } else if self.l3_shadow[w] & b != 0 {
+                let hit = self.l3.access(line);
+                debug_assert!(hit, "L3 shadow bit set for absent line {line:?}");
+                self.fill_l2(line, InsertPriority::Mru, false);
+                (ResidencyLevel::L3, self.lat_l3)
+            } else {
+                self.fill_l3(line, InsertPriority::Mru, false);
+                self.fill_l2(line, InsertPriority::Mru, false);
+                (ResidencyLevel::Memory, self.lat_mem)
+            };
+        }
         if self.l2.access(line) {
             (ResidencyLevel::L2, self.lat_l2)
         } else if self.l3.access(line) {
-            self.l2.fill(line, InsertPriority::Mru, false);
+            self.fill_l2(line, InsertPriority::Mru, false);
             (ResidencyLevel::L3, self.lat_l3)
         } else {
-            self.l3.fill(line, InsertPriority::Mru, false);
-            self.l2.fill(line, InsertPriority::Mru, false);
+            self.fill_l3(line, InsertPriority::Mru, false);
+            self.fill_l2(line, InsertPriority::Mru, false);
             (ResidencyLevel::Memory, self.lat_mem)
         }
     }
@@ -337,17 +497,85 @@ mod tests {
             state ^= state >> 7;
             state ^= state << 17;
             let line = Line::new(state % 600); // some lines beyond the limit
-            match state >> 40 & 1 {
-                0 => {
+            match state >> 40 & 3 {
+                0 | 1 => {
                     hier.fetch_instr(line);
                 }
-                _ => {
+                2 => {
                     hier.prefetch_fill(line);
                 }
+                _ => {
+                    // Data loads churn L2/L3 (and their shadows) too.
+                    hier.load_data(line);
+                }
             }
-            let probe = Line::new(state >> 8 & 0x3FF);
-            assert_eq!(hier.in_l1i(probe), hier.l1i().contains(probe), "line {probe:?}");
-            assert_eq!(hier.in_l1i(line), hier.l1i().contains(line));
+            for probe in [Line::new(state >> 8 & 0x3FF), line] {
+                assert_eq!(hier.in_l1i(probe), hier.l1i().contains(probe), "line {probe:?}");
+                // The shadow-served latency walk must agree with the
+                // scan-based residency walk for any line absent from L1I.
+                if !hier.l1i().contains(probe) {
+                    assert_eq!(
+                        hier.prefetch_latency_missing_l1i(probe),
+                        hier.prefetch_latency(probe),
+                        "L2/L3 shadow diverged for line {probe:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_covers_matches_per_line_probes() {
+        let mut hier = h();
+        hier.enable_l1i_shadow(256);
+        assert_eq!(hier.l1i_shadow_limit(), 256);
+        for l in [3u64, 62, 63, 64, 65, 130] {
+            hier.prefetch_fill(Line::new(l));
+        }
+        // All-resident word pair: lines 62..=64 straddle words 0 and 1.
+        let covers = hier.l1i_shadow_covers([0, 1], [0b11 << 62, 0b11]);
+        assert_eq!(
+            covers,
+            [62u64, 63, 64, 65].iter().all(|&l| hier.in_l1i(Line::new(l))),
+            "batched probe must agree with per-line probes"
+        );
+        assert!(covers);
+        // A missing line (61) breaks coverage.
+        assert!(!hier.l1i_shadow_covers([0, 1], [0b111 << 61, 0b11]));
+        // An empty second mask is trivially covered (single-word ops).
+        assert!(hier.l1i_shadow_covers([2, 2], [1 << (130 - 128), 0]));
+    }
+
+    #[test]
+    fn data_shadow_matches_shadowless_twin() {
+        // Drive one shadowed and one shadowless hierarchy through an
+        // identical interleaved code/data access sequence; every outcome
+        // (level, latency, eviction identity) must match, or the
+        // shadow-guided lookup_fill_shared diverged from the scan path.
+        let mut fast = h();
+        fast.enable_l1i_shadow(512);
+        fast.enable_data_shadow(1 << 40, 300); // clamps to whole words
+        let mut slow = h();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..30_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            match state >> 40 & 3 {
+                0 => {
+                    let line = Line::new(state % 600);
+                    assert_eq!(fast.fetch_instr(line), slow.fetch_instr(line));
+                }
+                1 => {
+                    let line = Line::new(state % 600);
+                    assert_eq!(fast.prefetch_fill(line), slow.prefetch_fill(line));
+                }
+                _ => {
+                    // Data range churns L2/L3 against the code lines.
+                    let line = Line::new((1 << 40) + state % 300);
+                    assert_eq!(fast.load_data(line), slow.load_data(line));
+                }
+            }
         }
     }
 

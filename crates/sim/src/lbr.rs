@@ -12,6 +12,29 @@ use ispy_isa::HashConfig;
 use ispy_trace::Addr;
 use std::collections::VecDeque;
 
+/// The precomputed Bloom signature of one block address: which filter
+/// counters it touches. Pushing an LBR entry hashes the address twice
+/// (FNV-1 + MurmurHash3) to find these positions; the replay engine visits
+/// the same few thousand static blocks millions of times, so it computes
+/// each block's signature once up front and replays pushes hash-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BloomSig {
+    bits: [u8; 2],
+    n: u8,
+}
+
+impl BloomSig {
+    /// Computes the counter positions `addr` touches under `cfg`.
+    pub fn of(cfg: HashConfig, addr: Addr) -> Self {
+        let [b0, b1] = cfg.bit_positions(addr);
+        if cfg.k() == 2 && b1 != b0 {
+            BloomSig { bits: [b0, b1], n: 2 }
+        } else {
+            BloomSig { bits: [b0, 0], n: 1 }
+        }
+    }
+}
+
 /// Counting Bloom filter over block signatures.
 ///
 /// # Examples
@@ -53,9 +76,14 @@ impl CountingBloom {
 
     /// Accounts one occurrence of the block starting at `addr`.
     pub fn insert(&mut self, addr: Addr) {
-        let (bits, n) = self.bits_of(addr);
-        for &bit in &bits[..n] {
-            let c = &mut self.counters[bit];
+        self.insert_sig(BloomSig::of(self.cfg, addr));
+    }
+
+    /// [`CountingBloom::insert`] with the address's signature precomputed.
+    #[inline]
+    pub fn insert_sig(&mut self, sig: BloomSig) {
+        for &bit in &sig.bits[..usize::from(sig.n)] {
+            let c = &mut self.counters[usize::from(bit)];
             // 6-bit counters never overflow with a 32-entry LBR (≤ 64
             // increments per bit even if every entry hashed to one bit).
             debug_assert!(*c < 64, "6-bit Bloom counter overflow");
@@ -73,9 +101,15 @@ impl CountingBloom {
     /// empty counter, and keeping one behaviour everywhere means release and
     /// debug simulations can never diverge.
     pub fn remove(&mut self, addr: Addr) {
-        let (bits, n) = self.bits_of(addr);
-        for &bit in &bits[..n] {
-            let c = &mut self.counters[bit];
+        self.remove_sig(BloomSig::of(self.cfg, addr));
+    }
+
+    /// [`CountingBloom::remove`] with the address's signature precomputed;
+    /// saturates at zero exactly like `remove`.
+    #[inline]
+    pub fn remove_sig(&mut self, sig: BloomSig) {
+        for &bit in &sig.bits[..usize::from(sig.n)] {
+            let c = &mut self.counters[usize::from(bit)];
             if *c > 0 {
                 *c -= 1;
                 if *c == 0 {
@@ -94,16 +128,6 @@ impl CountingBloom {
     /// The raw counter values (for white-box tests / the Fig. 7 walkthrough).
     pub fn counters(&self) -> &[u8] {
         &self.counters
-    }
-
-    /// Counter indices touched by `addr` (one per distinct hash function).
-    fn bits_of(&self, addr: Addr) -> ([usize; 2], usize) {
-        let [b0, b1] = self.cfg.bit_positions(addr);
-        if self.cfg.k() == 2 && b1 != b0 {
-            ([usize::from(b0), usize::from(b1)], 2)
-        } else {
-            ([usize::from(b0), 0], 1)
-        }
     }
 }
 
@@ -129,7 +153,9 @@ impl CountingBloom {
 #[derive(Debug, Clone)]
 pub struct Lbr {
     depth: usize,
-    entries: VecDeque<Addr>,
+    /// Each entry keeps its Bloom signature so the FIFO eviction can
+    /// decrement the right counters without re-hashing the evicted address.
+    entries: VecDeque<(Addr, BloomSig)>,
     bloom: CountingBloom,
 }
 
@@ -146,12 +172,26 @@ impl Lbr {
 
     /// Records a basic-block entry, evicting the oldest beyond `depth`.
     pub fn push(&mut self, block_start: Addr) {
-        self.entries.push_back(block_start);
-        self.bloom.insert(block_start);
+        self.push_sig(block_start, self.sig_of(block_start));
+    }
+
+    /// [`Lbr::push`] with the address's Bloom signature precomputed (see
+    /// [`BloomSig`]); the replay engine caches one signature per static
+    /// block, making the per-event push hash-free.
+    #[inline]
+    pub fn push_sig(&mut self, block_start: Addr, sig: BloomSig) {
+        self.entries.push_back((block_start, sig));
+        self.bloom.insert_sig(sig);
         if self.entries.len() > self.depth {
-            let evicted = self.entries.pop_front().expect("non-empty");
-            self.bloom.remove(evicted);
+            let (_, evicted_sig) = self.entries.pop_front().expect("non-empty");
+            self.bloom.remove_sig(evicted_sig);
         }
+    }
+
+    /// The Bloom signature of `addr` under this LBR's hash configuration.
+    #[inline]
+    pub fn sig_of(&self, addr: Addr) -> BloomSig {
+        BloomSig::of(self.bloom.config(), addr)
     }
 
     /// Number of recorded entries (≤ depth).
@@ -171,12 +211,12 @@ impl Lbr {
 
     /// Entries from oldest to newest.
     pub fn entries(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.entries.iter().copied()
+        self.entries.iter().map(|&(a, _)| a)
     }
 
     /// Whether `block_start` is among the recorded entries.
     pub fn contains(&self, block_start: Addr) -> bool {
-        self.entries.contains(&block_start)
+        self.entries.iter().any(|&(a, _)| a == block_start)
     }
 
     /// The Bloom-filter runtime hash over the current contents.
@@ -315,6 +355,26 @@ mod tests {
         // The filter remains usable afterwards.
         bloom.insert(addr(3));
         assert!(cfg.context_hash([addr(3)]).matches(bloom.runtime_hash()));
+    }
+
+    #[test]
+    fn precomputed_signature_push_matches_hashing_push() {
+        for cfg in [HashConfig::default(), HashConfig::new(32, 2), HashConfig::new(16, 1)] {
+            let mut hashed = Lbr::new(8, cfg);
+            let mut precomputed = Lbr::new(8, cfg);
+            for i in 0..64 {
+                let a = addr(i % 13);
+                hashed.push(a);
+                let sig = precomputed.sig_of(a);
+                precomputed.push_sig(a, sig);
+                assert_eq!(hashed.runtime_hash(), precomputed.runtime_hash());
+                assert_eq!(hashed.bloom().counters(), precomputed.bloom().counters());
+                assert_eq!(
+                    hashed.entries().collect::<Vec<_>>(),
+                    precomputed.entries().collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,13 +36,15 @@ pub mod lbr;
 pub mod metrics;
 pub mod outcome;
 pub mod replay;
+pub mod shard;
 
 pub use cache::{Cache, CacheParams, InsertPriority};
 pub use config::{Latencies, SimConfig};
 pub use engine::{run, HwPrefetcher, NoopObserver, RunOptions, SimObserver};
 pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use hierarchy::{Hierarchy, ResidencyLevel};
-pub use lbr::{CountingBloom, Lbr};
+pub use lbr::{BloomSig, CountingBloom, Lbr};
 pub use metrics::SimResult;
 pub use outcome::{InjectionOutcome, OutcomeLedger};
 pub use replay::{replay_bytes, replay_file, ReplayOutcome};
+pub use shard::{simulate_sharded, ShardConfig};

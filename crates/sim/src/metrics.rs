@@ -60,6 +60,62 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Counter-wise difference `self − earlier`, where `earlier` is a
+    /// snapshot taken earlier in the same run. Every counter is monotone
+    /// during replay, which is what makes the sharded replay's
+    /// record-then-subtract warmup accounting exact; callers must uphold
+    /// that `earlier` really is an earlier snapshot.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &SimResult) -> SimResult {
+        // Exhaustive field list (no `..`): adding a counter to SimResult
+        // without teaching the shard stitch-up about it must not compile.
+        SimResult {
+            cycles: self.cycles - earlier.cycles,
+            instrs: self.instrs - earlier.instrs,
+            base_instrs: self.base_instrs - earlier.base_instrs,
+            blocks: self.blocks - earlier.blocks,
+            i_accesses: self.i_accesses - earlier.i_accesses,
+            i_misses: self.i_misses - earlier.i_misses,
+            i_stall_cycles: self.i_stall_cycles - earlier.i_stall_cycles,
+            d_accesses: self.d_accesses - earlier.d_accesses,
+            d_misses: self.d_misses - earlier.d_misses,
+            d_stall_cycles: self.d_stall_cycles - earlier.d_stall_cycles,
+            pf_ops_executed: self.pf_ops_executed - earlier.pf_ops_executed,
+            pf_ops_fired: self.pf_ops_fired - earlier.pf_ops_fired,
+            pf_ops_suppressed: self.pf_ops_suppressed - earlier.pf_ops_suppressed,
+            pf_lines_issued: self.pf_lines_issued - earlier.pf_lines_issued,
+            pf_lines_resident: self.pf_lines_resident - earlier.pf_lines_resident,
+            pf_useful: self.pf_useful - earlier.pf_useful,
+            pf_late: self.pf_late - earlier.pf_late,
+            pf_evicted_unused: self.pf_evicted_unused - earlier.pf_evicted_unused,
+        }
+    }
+
+    /// Adds every counter of `other` into `self` — the shard stitch-up's
+    /// elementwise sum over per-window deltas.
+    pub fn accumulate(&mut self, other: &SimResult) {
+        *self = SimResult {
+            cycles: self.cycles + other.cycles,
+            instrs: self.instrs + other.instrs,
+            base_instrs: self.base_instrs + other.base_instrs,
+            blocks: self.blocks + other.blocks,
+            i_accesses: self.i_accesses + other.i_accesses,
+            i_misses: self.i_misses + other.i_misses,
+            i_stall_cycles: self.i_stall_cycles + other.i_stall_cycles,
+            d_accesses: self.d_accesses + other.d_accesses,
+            d_misses: self.d_misses + other.d_misses,
+            d_stall_cycles: self.d_stall_cycles + other.d_stall_cycles,
+            pf_ops_executed: self.pf_ops_executed + other.pf_ops_executed,
+            pf_ops_fired: self.pf_ops_fired + other.pf_ops_fired,
+            pf_ops_suppressed: self.pf_ops_suppressed + other.pf_ops_suppressed,
+            pf_lines_issued: self.pf_lines_issued + other.pf_lines_issued,
+            pf_lines_resident: self.pf_lines_resident + other.pf_lines_resident,
+            pf_useful: self.pf_useful + other.pf_useful,
+            pf_late: self.pf_late + other.pf_late,
+            pf_evicted_unused: self.pf_evicted_unused + other.pf_evicted_unused,
+        };
+    }
+
     /// L1 I-cache misses per kilo-instruction, counted against the original
     /// binary's instructions so configurations are comparable.
     pub fn mpki(&self) -> f64 {
@@ -224,6 +280,39 @@ mod tests {
     #[test]
     fn dynamic_increase_math() {
         assert!((sample().dynamic_increase() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_and_accumulate_roundtrip_every_field() {
+        // All-distinct, all-nonzero values so a counter dropped from either
+        // helper shows up as a mismatch.
+        let full = SimResult {
+            cycles: 1,
+            instrs: 2,
+            base_instrs: 3,
+            blocks: 4,
+            i_accesses: 5,
+            i_misses: 6,
+            i_stall_cycles: 7,
+            d_accesses: 8,
+            d_misses: 9,
+            d_stall_cycles: 10,
+            pf_ops_executed: 11,
+            pf_ops_fired: 12,
+            pf_ops_suppressed: 13,
+            pf_lines_issued: 14,
+            pf_lines_resident: 15,
+            pf_useful: 16,
+            pf_late: 17,
+            pf_evicted_unused: 18,
+        };
+        assert_eq!(full.delta_since(&SimResult::default()), full);
+        assert_eq!(full.delta_since(&full), SimResult::default());
+        let mut sum = SimResult::default();
+        sum.accumulate(&full);
+        assert_eq!(sum, full);
+        sum.accumulate(&full);
+        assert_eq!(sum.delta_since(&full), full);
     }
 
     #[test]

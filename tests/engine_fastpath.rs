@@ -1,0 +1,148 @@
+//! Fast-path equivalence: the engine's optimized replay (injection-skip
+//! span batching, site-group wholesale accounting, presence shadows, arena
+//! in-flight state) must be *bit-identical* to the unoptimized reference
+//! loop (`RunOptions { reference_loop: true }`) — same `SimResult`, same
+//! `OutcomeLedger` — on every plan, not just the ones the golden test pins.
+//!
+//! The plans here are generated from a seeded RNG so the suite explores op
+//! kinds, condition masks, coalesce masks, and site placements the
+//! hand-built plans never hit, while staying fully reproducible.
+
+use ispy_harness::workload::miss_derived_plan;
+use ispy_isa::{CoalesceMask, InjectionMap, PrefetchOp, ProvenanceId};
+use ispy_sim::{run, OutcomeLedger, RunOptions, SimConfig};
+use ispy_trace::{apps, BlockId, Line, Program, Trace};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A seeded random plan over `program`: random sites, random code-line
+/// targets, all four op kinds, conditions hashed from random block addresses
+/// (so some fire and some suppress at runtime).
+fn random_plan(program: &Program, cfg: &SimConfig, seed: u64, num_ops: u32) -> InjectionMap {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let blocks = program.blocks();
+    let n = blocks.len() as u64;
+    let max_line = blocks
+        .iter()
+        .map(|b| b.first_line().raw() + b.line_count() - 1)
+        .max()
+        .expect("non-empty program");
+    let mut map = InjectionMap::new();
+    for id in 0..num_ops {
+        let site = BlockId((xorshift(&mut state) % n) as u32);
+        let target = Line::new(xorshift(&mut state) % (max_line + 1));
+        let ctx = cfg.hash.context_hash([blocks[(xorshift(&mut state) % n) as usize].start()]);
+        let mask_bits = xorshift(&mut state) & 0xFF;
+        let mask = CoalesceMask::from_bits(mask_bits.max(1), 8);
+        let op = match xorshift(&mut state) % 4 {
+            0 => PrefetchOp::Plain { target },
+            1 => PrefetchOp::Cond { target, ctx },
+            2 => PrefetchOp::Coalesced { base: target, mask },
+            _ => PrefetchOp::CondCoalesced { base: target, mask, ctx },
+        };
+        map.push_traced(site, op, ProvenanceId(id));
+    }
+    map
+}
+
+/// Runs `plan` through both loops, with and without a ledger, asserting
+/// bit-identical results everywhere.
+fn assert_equivalent(program: &Program, trace: &Trace, cfg: &SimConfig, plan: &InjectionMap) {
+    // Throughput configuration (no ledger).
+    let fast =
+        run(program, trace, cfg, RunOptions { injections: Some(plan), ..Default::default() });
+    let reference = run(
+        program,
+        trace,
+        cfg,
+        RunOptions { injections: Some(plan), reference_loop: true, ..Default::default() },
+    );
+    assert_eq!(fast, reference, "SimResult diverged between fast path and reference loop");
+
+    // Attributed configuration (ledger attached).
+    let mut fast_ledger = OutcomeLedger::default();
+    let fast_attr = run(
+        program,
+        trace,
+        cfg,
+        RunOptions {
+            injections: Some(plan),
+            outcomes: Some(&mut fast_ledger),
+            ..Default::default()
+        },
+    );
+    let mut ref_ledger = OutcomeLedger::default();
+    let ref_attr = run(
+        program,
+        trace,
+        cfg,
+        RunOptions {
+            injections: Some(plan),
+            outcomes: Some(&mut ref_ledger),
+            reference_loop: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(fast_attr, ref_attr, "attributed SimResult diverged");
+    assert_eq!(fast_ledger, ref_ledger, "OutcomeLedger diverged");
+    // The ledger never changes the counters themselves.
+    assert_eq!(fast, fast_attr, "attaching a ledger changed the SimResult");
+}
+
+#[test]
+fn random_plans_are_bit_identical_across_loops() {
+    let model = apps::cassandra().scaled_down(30);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 12_000);
+    let cfg = SimConfig::default();
+    for seed in [1u64, 7, 42, 0xC0FFEE] {
+        let plan = random_plan(&program, &cfg, seed, 400);
+        assert_equivalent(&program, &trace, &cfg, &plan);
+    }
+}
+
+#[test]
+fn random_plans_hold_on_a_second_app_shape() {
+    // Different block-size/branchiness profile: verilator's generated
+    // program exercises different set-index and shadow-word patterns.
+    let model = apps::verilator().scaled_down(30);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 8_000);
+    let cfg = SimConfig::default();
+    for seed in [3u64, 0xBEEF] {
+        let plan = random_plan(&program, &cfg, seed, 250);
+        assert_equivalent(&program, &trace, &cfg, &plan);
+    }
+}
+
+#[test]
+fn miss_derived_plan_is_bit_identical_across_loops() {
+    // The benchmark's own workload: realistic miss-driven placements with
+    // every op kind, the densest exercise of the site-group fast path.
+    let model = apps::cassandra().scaled_down(20);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 20_000);
+    let cfg = SimConfig::default();
+    let plan = miss_derived_plan(&program, &trace, &cfg);
+    assert!(plan.num_ops() > 100, "workload plan unexpectedly small");
+    assert_equivalent(&program, &trace, &cfg, &plan);
+}
+
+#[test]
+fn baseline_without_injections_is_bit_identical_across_loops() {
+    // No plan at all: pins the lean-span batching (injection-skip index)
+    // against the full per-block step.
+    let model = apps::cassandra().scaled_down(30);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 12_000);
+    let cfg = SimConfig::default();
+    let fast = run(&program, &trace, &cfg, RunOptions::default());
+    let reference =
+        run(&program, &trace, &cfg, RunOptions { reference_loop: true, ..Default::default() });
+    assert_eq!(fast, reference);
+}

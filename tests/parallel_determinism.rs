@@ -1,9 +1,13 @@
 //! The harness's parallelism guarantee: every figure driver produces
 //! byte-identical tables with 1 thread and with many, because fan-outs
 //! collect rows in sweep order and every cached artifact (comparisons,
-//! planner baselines) is deterministic regardless of fill order.
+//! planner baselines) is deterministic regardless of fill order. The same
+//! contract extends *inside* a single simulation: the sharded replay's
+//! result must not depend on its shard count.
 
+use ispy_harness::workload::miss_derived_plan;
 use ispy_harness::{figures, Scale, Session, Table};
+use ispy_sim::{simulate_sharded, OutcomeLedger, ShardConfig, SimConfig};
 use ispy_telemetry::{Telemetry, TimingMode};
 use ispy_trace::apps;
 use std::sync::Arc;
@@ -40,4 +44,38 @@ fn every_figure_is_identical_serial_vs_parallel() {
     // byte-identical no matter how the pool scheduled the same work.
     assert!(serial_tele.contains("core.plan"), "planner work must be visible in telemetry");
     assert_eq!(serial_tele, parallel_tele, "telemetry must not depend on thread count");
+}
+
+#[test]
+fn sharded_replay_is_identical_across_shard_counts() {
+    // Intra-trace parallelism: one trace, one plan, one window/warmup shape
+    // — sweeping only the worker count must reproduce the same SimResult
+    // and the same per-injection OutcomeLedger byte for byte, because each
+    // window's replay depends only on its trace slice and the stitch-up
+    // sums deltas in window order.
+    let model = apps::cassandra().scaled_down(20);
+    let program = model.generate();
+    let trace = program.record_trace(model.default_input(), 30_000);
+    let cfg = SimConfig::default();
+    let plan = miss_derived_plan(&program, &trace, &cfg);
+    let base = ShardConfig { window_blocks: 4_096, warmup_blocks: 2_048, shards: 1 };
+
+    let mut reference_ledger = OutcomeLedger::default();
+    let reference =
+        simulate_sharded(&program, &trace, &cfg, Some(&plan), &base, Some(&mut reference_ledger));
+    assert!(reference.pf_ops_fired > 0, "plan must actually exercise the engine");
+
+    for shards in [2, 4, 8] {
+        let mut ledger = OutcomeLedger::default();
+        let got = simulate_sharded(
+            &program,
+            &trace,
+            &cfg,
+            Some(&plan),
+            &ShardConfig { shards, ..base },
+            Some(&mut ledger),
+        );
+        assert_eq!(got, reference, "SimResult diverged at shards={shards}");
+        assert_eq!(ledger, reference_ledger, "OutcomeLedger diverged at shards={shards}");
+    }
 }
