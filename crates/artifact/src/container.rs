@@ -30,14 +30,59 @@ pub const MAGIC: [u8; 8] = *b"ISPYART\0";
 pub const FORMAT_VERSION: u16 = 1;
 
 /// Fixed header length in bytes.
-const HEADER_LEN: usize = 20;
+pub(crate) const HEADER_LEN: usize = 20;
 
 /// Per-section framing overhead: id (4) + length (8) + CRC (4).
 const SECTION_OVERHEAD: usize = 16;
 
 /// Refuse to allocate payloads beyond this — a corrupt length field must not
 /// become an OOM.
-const MAX_SECTION_LEN: u64 = 1 << 30;
+pub(crate) const MAX_SECTION_LEN: u64 = 1 << 30;
+
+/// Serializes the fixed 20-byte header (magic, version, kind, section count,
+/// header CRC). Shared by the buffered and streaming writers so both produce
+/// bit-identical headers.
+pub(crate) fn encode_header(kind: ArtifactKind, section_count: u32) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[..8].copy_from_slice(&MAGIC);
+    out[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[10..12].copy_from_slice(&kind.raw().to_le_bytes());
+    out[12..16].copy_from_slice(&section_count.to_le_bytes());
+    let header_crc = crc32(&out[..16]);
+    out[16..20].copy_from_slice(&header_crc.to_le_bytes());
+    out
+}
+
+/// Validates a 20-byte header against `expected` and returns the declared
+/// section count. Shared by the buffered and streaming readers so both
+/// enforce identical checks.
+pub(crate) fn parse_header(
+    header: &[u8; HEADER_LEN],
+    expected: ArtifactKind,
+) -> Result<u32, ArtifactError> {
+    if header[..8] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[8], header[9]]);
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let raw_kind = u16::from_le_bytes([header[10], header[11]]);
+    let kind =
+        ArtifactKind::from_raw(raw_kind).ok_or(ArtifactError::UnknownKind { found: raw_kind })?;
+    let count = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    let stored_header_crc = u32::from_le_bytes([header[16], header[17], header[18], header[19]]);
+    if crc32(&header[..16]) != stored_header_crc {
+        return Err(ArtifactError::HeaderChecksum);
+    }
+    if kind != expected {
+        return Err(ArtifactError::WrongKind { expected: expected.raw(), found: kind.raw() });
+    }
+    Ok(count)
+}
 
 /// What an artifact stores, written into the header and checked on read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,12 +156,7 @@ impl ArtifactWriter {
         let body_len: usize =
             self.sections.iter().map(|(_, p)| p.len() + SECTION_OVERHEAD).sum::<usize>();
         let mut out = Vec::with_capacity(HEADER_LEN + body_len);
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&self.kind.raw().to_le_bytes());
-        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
-        let header_crc = crc32(&out[..16]);
-        out.extend_from_slice(&header_crc.to_le_bytes());
+        out.extend_from_slice(&encode_header(self.kind, self.sections.len() as u32));
         for (id, payload) in &self.sections {
             let frame_start = out.len();
             out.extend_from_slice(&id.to_le_bytes());
@@ -168,27 +208,10 @@ impl ArtifactReader {
         if bytes.len() < HEADER_LEN {
             return Err(ArtifactError::Truncated { context: "header" });
         }
-        if bytes[..8] != MAGIC {
-            return Err(ArtifactError::BadMagic);
-        }
-        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != FORMAT_VERSION {
-            return Err(ArtifactError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let raw_kind = u16::from_le_bytes([bytes[10], bytes[11]]);
-        let kind = ArtifactKind::from_raw(raw_kind)
-            .ok_or(ArtifactError::UnknownKind { found: raw_kind })?;
-        let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
-        let stored_header_crc = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
-        if crc32(&bytes[..16]) != stored_header_crc {
-            return Err(ArtifactError::HeaderChecksum);
-        }
-        if kind != expected {
-            return Err(ArtifactError::WrongKind { expected: expected.raw(), found: kind.raw() });
-        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&bytes[..HEADER_LEN]);
+        let count = parse_header(&header, expected)?;
+        let kind = expected;
 
         let mut sections: Vec<(u32, std::ops::Range<usize>)> = Vec::with_capacity(count as usize);
         let mut pos = HEADER_LEN;

@@ -24,12 +24,56 @@ fn table() -> &'static [u32; 256] {
 /// standard zlib convention, so values can be cross-checked with any external
 /// tool).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let t = table();
-    let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental CRC-32 over a byte stream, bit-identical to [`crc32`] of the
+/// concatenated input — the streaming reader/writer checksum section frames
+/// chunk by chunk without ever holding the payload in memory.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_artifact::crc::{crc32, Crc32};
+///
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finish(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    crc ^ u32::MAX
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: u32::MAX }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything folded in so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        self.state ^ u32::MAX
+    }
 }
 
 #[cfg(test)]

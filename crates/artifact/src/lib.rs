@@ -47,8 +47,10 @@ pub mod container;
 pub mod crc;
 pub mod error;
 pub mod section;
+pub mod stream;
 pub mod varint;
 
 pub use container::{ArtifactKind, ArtifactReader, ArtifactWriter, FORMAT_VERSION, MAGIC};
 pub use error::ArtifactError;
 pub use section::{SectionReader, SectionWriter};
+pub use stream::{StreamReader, StreamWriter};

@@ -1,5 +1,7 @@
 //! Engine-throughput benchmark: blocks/sec through `ispy_sim::run` for the
-//! five configurations every figure driver pays for. The measurement loop
+//! six configurations every figure driver pays for (including the
+//! bounded-memory `stream_replay` path, which also reports peak RSS). The
+//! measurement loop
 //! itself lives in [`ispy_harness::enginebench`] so `repro bench` and this
 //! target report the same numbers; this binary adds the CLI and the JSON
 //! history writer.
@@ -39,7 +41,15 @@ fn main() {
 
     let bench = run_engine_bench(quick);
     for row in &bench.rows {
-        println!("bench engine/{:<30} {:>14.0} blocks/s", row.name, row.blocks_per_sec);
+        match row.peak_rss_bytes {
+            Some(_) => println!(
+                "bench engine/{:<30} {:>14.0} blocks/s   peak RSS {}",
+                row.name,
+                row.blocks_per_sec,
+                ispy_harness::rss::format_bytes(row.peak_rss_bytes)
+            ),
+            None => println!("bench engine/{:<30} {:>14.0} blocks/s", row.name, row.blocks_per_sec),
+        }
     }
 
     if let Some(path) = json_path {

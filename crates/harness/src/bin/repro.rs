@@ -11,8 +11,11 @@
 //! repro fig17 --apps wordpress    # run on a subset of the applications
 //! repro explain wordpress --quick # why/what-did-it-buy audit per injection
 //! repro record kafka -o k.itrace  # record an execution to an artifact
+//! repro record kafka --stream --events 100000000 -o k.itrace
+//!                                 # stream-record without materializing
 //! repro plan kafka -o k.iplan     # plan injections, save with provenance
 //! repro replay k.itrace           # re-simulate a recorded artifact
+//! repro replay k.itrace --stream  # same result, bounded memory
 //! repro ingest perf.txt           # lift a perf-script LBR dump to .itrace
 //! repro bench                     # quick engine bench vs committed history
 //! repro bench --check             # same, failing on a >20% throughput drop
@@ -275,7 +278,7 @@ fn run_explain(app: &str, scale: Scale, top_n: usize) -> ExitCode {
 /// Throughput rows the `--check` floor gate watches: the tentpole metrics.
 /// The remaining rows are printed for context but a dip there never fails
 /// the gate (baseline/hw throughput is not what this PR series optimizes).
-const GATED_ROWS: [&str; 2] = ["injected", "injected_replay"];
+const GATED_ROWS: [&str; 3] = ["injected", "injected_replay", "stream_replay"];
 
 /// A measured row may drop this fraction below the committed value before
 /// `--check` fails. Wide enough to absorb shared-runner noise on a
@@ -332,12 +335,18 @@ fn run_bench(args: &[String]) -> ExitCode {
 
     let mut floor_breaches = Vec::new();
     for row in &bench.rows {
+        let rss = match row.peak_rss_bytes {
+            Some(_) => {
+                format!("   peak RSS {}", ispy_harness::rss::format_bytes(row.peak_rss_bytes))
+            }
+            None => String::new(),
+        };
         let reference = committed.and_then(|e| ispy_harness::enginebench::entry_row(e, row.name));
         match reference {
             Some(reference) if reference > 0.0 => {
                 let delta = (row.blocks_per_sec - reference) / reference * 100.0;
                 println!(
-                    "  {:<16} {:>12.0} blocks/s   committed {:>12.0}   {:>+7.1}%",
+                    "  {:<16} {:>12.0} blocks/s   committed {:>12.0}   {:>+7.1}%{rss}",
                     row.name, row.blocks_per_sec, reference, delta
                 );
                 if GATED_ROWS.contains(&row.name) && delta < -100.0 * FLOOR_FRACTION {
@@ -348,7 +357,7 @@ fn run_bench(args: &[String]) -> ExitCode {
                 }
             }
             _ => println!(
-                "  {:<16} {:>12.0} blocks/s   (no committed reference)",
+                "  {:<16} {:>12.0} blocks/s   (no committed reference){rss}",
                 row.name, row.blocks_per_sec
             ),
         }
@@ -380,40 +389,63 @@ fn usage() {
     eprintln!("             [--quick | --test-scale] [--json DIR] [--metrics DIR]");
     eprintln!("             [--cache[=DIR]] [--jobs N] [--apps a,b,c]");
     eprintln!("       repro explain <app> [--quick | --test-scale] [--top N] [--jobs N]");
-    eprintln!("       repro record <app> [--quick | --test-scale] [-o FILE.itrace]");
+    eprintln!("       repro record <app> [--quick | --test-scale] [--stream] [--events N]");
+    eprintln!("                   [-o FILE.itrace]");
     eprintln!("       repro plan <app> [--quick | --test-scale] [-o FILE.iplan]");
-    eprintln!("       repro replay <FILE.itrace> [--plan FILE.iplan]");
+    eprintln!("       repro replay <FILE.itrace> [--plan FILE.iplan] [--stream]");
     eprintln!("       repro ingest <perf-script.txt> [-o FILE.itrace]");
     eprintln!("       repro bench [--full] [--check] [--baseline BENCH_engine.json]");
     eprintln!("       (--cache defaults to {DEFAULT_CACHE_DIR}/)");
 }
 
-/// Parses the scale/output flags shared by the artifact subcommands;
-/// returns `(positional args, scale, -o value)`.
-fn parse_artifact_args(args: &[String]) -> Result<(Vec<String>, Scale, Option<PathBuf>), String> {
-    let mut positional = Vec::new();
-    let mut scale = Scale::full();
-    let mut out = None;
+/// Flags shared by the artifact subcommands.
+struct ArtifactArgs {
+    positional: Vec<String>,
+    scale: Scale,
+    out: Option<PathBuf>,
+    /// `--stream`: bounded-memory path (streamed record / streamed replay).
+    stream: bool,
+    /// `--events N`: explicit event count, overriding the scale's default.
+    events: Option<u64>,
+}
+
+/// Parses the scale/output flags shared by the artifact subcommands.
+fn parse_artifact_args(args: &[String]) -> Result<ArtifactArgs, String> {
+    let mut parsed = ArtifactArgs {
+        positional: Vec::new(),
+        scale: Scale::full(),
+        out: None,
+        stream: false,
+        events: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--test-scale" => scale = Scale::test(),
+            "--quick" => parsed.scale = Scale::quick(),
+            "--test-scale" => parsed.scale = Scale::test(),
+            "--stream" => parsed.stream = true,
+            "--events" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) => parsed.events = Some(n),
+                    None => return Err("--events needs an event count".to_string()),
+                }
+            }
             "-o" | "--out" => {
                 i += 1;
                 match args.get(i) {
-                    Some(p) => out = Some(PathBuf::from(p)),
+                    Some(p) => parsed.out = Some(PathBuf::from(p)),
                     None => return Err("-o needs a file path".to_string()),
                 }
             }
             flag if flag.starts_with('-') && flag != "--plan" => {
                 return Err(format!("unknown flag `{flag}`"));
             }
-            other => positional.push(other.to_string()),
+            other => parsed.positional.push(other.to_string()),
         }
         i += 1;
     }
-    Ok((positional, scale, out))
+    Ok(parsed)
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -422,28 +454,66 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 /// `repro record <app>`: record an execution and store it as `.itrace`.
+///
+/// With `--stream` the trace never exists in memory: the generator feeds a
+/// [`RecordingWriter`](ispy_trace::artifact::RecordingWriter) chunk by
+/// chunk, so `--events` can exceed RAM (the 100M-block CI gate records this
+/// way under a ulimit).
 fn run_record(args: &[String]) -> ExitCode {
-    let (positional, scale, out) = match parse_artifact_args(args) {
+    let parsed = match parse_artifact_args(args) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let [app] = positional.as_slice() else {
+    let [app] = parsed.positional.as_slice() else {
         return fail(&format!("record needs exactly one app; known: {}", apps::NAMES.join(",")));
     };
     let Some(model) = apps::by_name(app) else {
         return fail(&format!("unknown app `{app}`; known: {}", apps::NAMES.join(",")));
     };
-    let model = model.scaled_down(scale.shrink);
+    let model = model.scaled_down(parsed.scale.shrink);
     let program = model.generate();
-    let trace = program.record_trace(model.default_input(), scale.events);
-    let path = out.unwrap_or_else(|| PathBuf::from(format!("{app}.itrace")));
-    if let Err(e) = ispy_trace::artifact::write_recording(&program, &trace, &path) {
-        return fail(&e.to_string());
-    }
+    let events = parsed.events.unwrap_or(parsed.scale.events as u64);
+    let path = parsed.out.unwrap_or_else(|| PathBuf::from(format!("{app}.itrace")));
+    let written = if parsed.stream {
+        let walker = ispy_trace::Walker::new(&program, model.default_input());
+        let mut source = ispy_trace::WalkerSource::new(walker, events);
+        let mut writer =
+            match ispy_trace::artifact::RecordingWriter::create(&path, &program, program.name()) {
+                Ok(w) => w,
+                Err(e) => return fail(&e.to_string()),
+            };
+        loop {
+            use ispy_trace::BlockSource;
+            match source.next_chunk() {
+                Ok(Some(chunk)) => {
+                    if let Err(e) = writer.push(chunk) {
+                        return fail(&e.to_string());
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+        let written = writer.events_written();
+        if let Err(e) = writer.finish() {
+            return fail(&e.to_string());
+        }
+        written
+    } else {
+        if events > usize::MAX as u64 {
+            return fail("--events too large to materialize; use --stream");
+        }
+        let trace = program.record_trace(model.default_input(), events as usize);
+        if let Err(e) = ispy_trace::artifact::write_recording(&program, &trace, &path) {
+            return fail(&e.to_string());
+        }
+        trace.len() as u64
+    };
     eprintln!(
-        "recorded {app}: {} blocks, {} events -> {}",
+        "recorded {app}: {} blocks, {} events{} -> {}",
         program.num_blocks(),
-        trace.len(),
+        written,
+        if parsed.stream { " (streamed)" } else { "" },
         path.display()
     );
     ExitCode::SUCCESS
@@ -451,11 +521,12 @@ fn run_record(args: &[String]) -> ExitCode {
 
 /// `repro plan <app>`: profile, plan I-SPY injections, store as `.iplan`.
 fn run_plan(args: &[String]) -> ExitCode {
-    let (positional, scale, out) = match parse_artifact_args(args) {
+    let parsed = match parse_artifact_args(args) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let [app] = positional.as_slice() else {
+    let (scale, out) = (parsed.scale, parsed.out);
+    let [app] = parsed.positional.as_slice() else {
         return fail(&format!("plan needs exactly one app; known: {}", apps::NAMES.join(",")));
     };
     let Some(model) = apps::by_name(app) else {
@@ -483,11 +554,14 @@ fn run_plan(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro replay <file.itrace> [--plan file.iplan]`: re-simulate a recorded
-/// artifact and print the canonical metric lines.
+/// `repro replay <file.itrace> [--plan file.iplan] [--stream]`: re-simulate
+/// a recorded artifact and print the canonical metric lines. `--stream`
+/// replays in bounded memory (the file's events are decoded chunk by chunk,
+/// never materialized) and prints byte-identical output.
 fn run_replay(args: &[String]) -> ExitCode {
     let mut files = Vec::new();
     let mut plan_file: Option<PathBuf> = None;
+    let mut stream = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -498,6 +572,7 @@ fn run_replay(args: &[String]) -> ExitCode {
                     None => return fail("--plan needs a .iplan file"),
                 }
             }
+            "--stream" => stream = true,
             flag if flag.starts_with('-') => return fail(&format!("unknown flag `{flag}`")),
             other => files.push(PathBuf::from(other)),
         }
@@ -506,45 +581,48 @@ fn run_replay(args: &[String]) -> ExitCode {
     let [path] = files.as_slice() else {
         return fail("replay needs exactly one .itrace file");
     };
-    let (program, trace) = match ispy_trace::artifact::read_recording(path) {
-        Ok(pair) => pair,
-        Err(e) => return fail(&e.to_string()),
-    };
     let plan = match &plan_file {
         Some(p) => match ispy_core::artifact::read_plan(p) {
-            Ok((label, plan)) => {
-                if label != program.name() {
-                    eprintln!(
-                        "warning: plan was built for `{label}`, replaying `{}`",
-                        program.name()
-                    );
-                }
-                Some(plan)
-            }
+            Ok((label, plan)) => Some((label, plan)),
             Err(e) => return fail(&e.to_string()),
         },
         None => None,
     };
-    let result = ispy_sim::run(
-        &program,
-        &trace,
-        &ispy_sim::SimConfig::default(),
-        ispy_sim::RunOptions {
-            injections: plan.as_ref().map(|p| &p.injections),
-            ..Default::default()
-        },
-    );
-    print!("{}", metrics::result_lines(program.name(), &result));
+    let cfg = ispy_sim::SimConfig::default();
+    let opts = ispy_sim::RunOptions {
+        injections: plan.as_ref().map(|(_, p)| &p.injections),
+        ..Default::default()
+    };
+    let (name, result) = if stream {
+        match ispy_sim::replay_file_streaming(path, &cfg, opts) {
+            Ok(out) => (out.name, out.result),
+            Err(e) => return fail(&e.to_string()),
+        }
+    } else {
+        let (program, trace) = match ispy_trace::artifact::read_recording(path) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&e.to_string()),
+        };
+        let result = ispy_sim::run(&program, &trace, &cfg, opts);
+        (program.name().to_string(), result)
+    };
+    if let Some((label, _)) = &plan {
+        if label != &name {
+            eprintln!("warning: plan was built for `{label}`, replaying `{name}`");
+        }
+    }
+    print!("{}", metrics::result_lines(&name, &result));
     ExitCode::SUCCESS
 }
 
 /// `repro ingest <perf.txt>`: lift a perf-script LBR dump into `.itrace`.
 fn run_ingest(args: &[String]) -> ExitCode {
-    let (positional, _scale, out) = match parse_artifact_args(args) {
+    let parsed = match parse_artifact_args(args) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    let [input] = positional.as_slice() else {
+    let out = parsed.out;
+    let [input] = parsed.positional.as_slice() else {
         return fail("ingest needs exactly one perf-script text file");
     };
     let text = match std::fs::read_to_string(input) {

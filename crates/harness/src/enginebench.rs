@@ -3,7 +3,7 @@
 //! subcommand so both measure *exactly* the same thing.
 //!
 //! The benchmark replays one workload (cassandra, miss-derived plan touching
-//! all four prefetch-op kinds) through [`ispy_sim::run`] in five
+//! all four prefetch-op kinds) through [`ispy_sim::run`] in six
 //! configurations:
 //!
 //! | row               | what it pays for                                    |
@@ -14,6 +14,9 @@
 //! |                   | replay tax the sweeps pay per configuration         |
 //! | `injected_ledger` | pre-compiled replay + per-injection outcome ledger  |
 //! | `hw_prefetcher`   | bare replay + next-line hardware prefetcher         |
+//! | `stream_replay`   | pre-compiled replay through the streaming decoder:  |
+//! |                   | `.itrace` bytes → chunked decode → `run_streaming`, |
+//! |                   | the bounded-memory path (also reports peak RSS)     |
 //!
 //! Measurement protocol: every configuration runs `reps + 1` times; the
 //! first repetition is discarded unconditionally (cache/allocator warmup —
@@ -26,9 +29,11 @@
 //! than overwriting, so the perf trajectory across reworks stays visible.
 
 use crate::json::Json;
+use crate::rss;
 use crate::workload::miss_derived_plan;
 use ispy_isa::{CompiledInjections, InjectionMap};
-use ispy_sim::{run, HwPrefetcher, OutcomeLedger, RunOptions, SimConfig};
+use ispy_sim::{run, run_streaming, HwPrefetcher, OutcomeLedger, RunOptions, SimConfig};
+use ispy_trace::artifact::{open_recording_stream, recording_to_bytes};
 use ispy_trace::{apps, Line, Program, Trace};
 use std::path::Path;
 use std::time::Instant;
@@ -45,6 +50,16 @@ pub struct BenchRow {
     pub name: &'static str,
     /// Best observed throughput in trace blocks per second.
     pub blocks_per_sec: f64,
+    /// Process peak RSS across the row's measurement window, for rows where
+    /// memory footprint is the point (the streaming row). `None` elsewhere
+    /// and on platforms without `/proc`.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl BenchRow {
+    fn new(name: &'static str, blocks_per_sec: f64) -> Self {
+        BenchRow { name, blocks_per_sec, peak_rss_bytes: None }
+    }
 }
 
 /// A complete benchmark run: the workload shape plus every measured row.
@@ -166,6 +181,25 @@ pub fn run_engine_bench(quick: bool) -> BenchRun {
             RunOptions { hw_prefetcher: Some(&mut hw), ..Default::default() },
         );
     });
+    // The streaming row replays the serialized recording — program decode +
+    // chunked event decode + simulation — so it prices the full
+    // bounded-memory path, not just the engine loop. Peak RSS is reset
+    // right before the reps so the reading covers only this window (it is
+    // still process-wide: the materialized workload above stays resident).
+    let recording = recording_to_bytes(&w.program, &w.trace);
+    rss::reset_peak_rss();
+    let stream_replay = measure(events, reps, || {
+        let (program, mut stream) =
+            open_recording_stream(recording.as_slice()).expect("recording round-trips");
+        run_streaming(
+            &program,
+            &mut stream,
+            &w.cfg,
+            RunOptions { compiled: Some(&w.compiled), ..Default::default() },
+        )
+        .expect("in-memory stream cannot fail");
+    });
+    let stream_rss = rss::peak_rss_bytes();
 
     BenchRun {
         app: w.program.name().to_string(),
@@ -173,11 +207,16 @@ pub fn run_engine_bench(quick: bool) -> BenchRun {
         reps,
         quick,
         rows: vec![
-            BenchRow { name: "baseline", blocks_per_sec: baseline },
-            BenchRow { name: "injected", blocks_per_sec: injected },
-            BenchRow { name: "injected_replay", blocks_per_sec: injected_replay },
-            BenchRow { name: "injected_ledger", blocks_per_sec: injected_ledger },
-            BenchRow { name: "hw_prefetcher", blocks_per_sec: hw_prefetcher },
+            BenchRow::new("baseline", baseline),
+            BenchRow::new("injected", injected),
+            BenchRow::new("injected_replay", injected_replay),
+            BenchRow::new("injected_ledger", injected_ledger),
+            BenchRow::new("hw_prefetcher", hw_prefetcher),
+            BenchRow {
+                name: "stream_replay",
+                blocks_per_sec: stream_replay,
+                peak_rss_bytes: stream_rss,
+            },
         ],
     }
 }
@@ -187,17 +226,25 @@ pub fn run_engine_bench(quick: bool) -> BenchRun {
 /// all replay sequentially, so it is always 1.
 pub fn history_entry(run: &BenchRun, label: &str) -> Json {
     let mut rows = Vec::with_capacity(run.rows.len());
+    let mut rss_rows = Vec::new();
     for r in &run.rows {
         rows.push((r.name.to_string(), Json::Num(r.blocks_per_sec.round())));
+        if let Some(rss) = r.peak_rss_bytes {
+            rss_rows.push((r.name.to_string(), Json::Num(rss as f64)));
+        }
     }
-    Json::Obj(vec![
+    let mut fields = vec![
         ("label".to_string(), Json::Str(label.to_string())),
         ("quick".to_string(), Json::Bool(run.quick)),
         ("events".to_string(), Json::Num(run.events as f64)),
         ("reps".to_string(), Json::Num(run.reps as f64)),
         ("threads".to_string(), Json::Num(1.0)),
         ("blocks_per_sec".to_string(), Json::Obj(rows)),
-    ])
+    ];
+    if !rss_rows.is_empty() {
+        fields.push(("peak_rss_bytes".to_string(), Json::Obj(rss_rows)));
+    }
+    Json::Obj(fields)
 }
 
 /// Loads and parses a benchmark history file.
@@ -247,6 +294,12 @@ pub fn entry_row(entry: &Json, row: &str) -> Option<f64> {
     entry.get("blocks_per_sec")?.get(row)?.as_f64()
 }
 
+/// The committed peak RSS (bytes) for `row` in a history entry, for the
+/// rows that record one.
+pub fn entry_rss(entry: &Json, row: &str) -> Option<u64> {
+    Some(entry.get("peak_rss_bytes")?.get(row)?.as_f64()? as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,8 +311,13 @@ mod tests {
             reps: 2,
             quick,
             rows: vec![
-                BenchRow { name: "baseline", blocks_per_sec: bps * 4.0 },
-                BenchRow { name: "injected", blocks_per_sec: bps },
+                BenchRow::new("baseline", bps * 4.0),
+                BenchRow::new("injected", bps),
+                BenchRow {
+                    name: "stream_replay",
+                    blocks_per_sec: bps * 0.9,
+                    peak_rss_bytes: Some(48 * 1024 * 1024),
+                },
             ],
         }
     }
@@ -287,6 +345,16 @@ mod tests {
         assert_eq!(entry_row(quick, "injected"), Some(50.0));
 
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn peak_rss_round_trips_through_the_history_schema() {
+        let entry = history_entry(&fake_run(true, 100.0), "rss");
+        assert_eq!(entry_rss(&entry, "stream_replay"), Some(48 * 1024 * 1024));
+        assert_eq!(entry_rss(&entry, "baseline"), None, "rows without RSS stay absent");
+        // Legacy entries predate the field entirely.
+        let legacy = Json::parse(r#"{"blocks_per_sec": {"injected": 1.0}}"#).unwrap();
+        assert_eq!(entry_rss(&legacy, "stream_replay"), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod figures;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod rss;
 pub mod session;
 pub mod workload;
 

@@ -49,8 +49,9 @@ use crate::hierarchy::Hierarchy;
 use crate::lbr::{BloomSig, Lbr};
 use crate::metrics::SimResult;
 use crate::outcome::OutcomeLedger;
+use ispy_artifact::ArtifactError;
 use ispy_isa::{CompiledInjections, InjectionMap, ProvenanceId};
-use ispy_trace::{Addr, BlockId, Line, Program, Trace};
+use ispy_trace::{Addr, BlockId, BlockSource, Line, Program, Trace};
 
 /// Data lines live in a disjoint address range from code lines.
 const DATA_LINE_BASE: u64 = 1 << 40;
@@ -1264,6 +1265,77 @@ pub fn run(
     );
     eng.replay(trace.blocks(), 0);
     eng.result_so_far()
+}
+
+/// Replays a [`BlockSource`] through the simulated machine, chunk by chunk.
+///
+/// This is [`run`] with the trace decoupled from RAM: the engine's per-block
+/// semantics are chunk-agnostic (each internal replay call continues from
+/// the machine state the previous one left), so the result is byte-identical
+/// to materializing the source into a `Vec` and calling [`run`] — for any
+/// source and any chunking. The injected fast path (skip index, arena
+/// in-flight, hot ops) is reused unchanged. Peak memory is one chunk plus
+/// the fixed machine state, which is what removes the RAM ceiling on trace
+/// length.
+///
+/// # Errors
+///
+/// Propagates the source's typed [`ArtifactError`]s (a decoding source may
+/// fail mid-stream on corrupt or truncated input); no result is returned for
+/// a stream that did not complete cleanly.
+///
+/// # Panics
+///
+/// Panics if the source yields blocks outside `program`.
+///
+/// # Examples
+///
+/// ```
+/// use ispy_sim::{run, run_streaming, RunOptions, SimConfig};
+/// use ispy_trace::source::TraceBlocks;
+/// use ispy_trace::apps;
+///
+/// let model = apps::tomcat().scaled_down(40);
+/// let program = model.generate();
+/// let trace = program.record_trace(model.default_input(), 5_000);
+/// let cfg = SimConfig::default();
+/// let direct = run(&program, &trace, &cfg, RunOptions::default());
+/// let mut source = TraceBlocks::with_chunk(trace.blocks(), 512);
+/// let streamed = run_streaming(&program, &mut source, &cfg, RunOptions::default()).unwrap();
+/// assert_eq!(streamed, direct);
+/// ```
+pub fn run_streaming<S: BlockSource + ?Sized>(
+    program: &Program,
+    source: &mut S,
+    cfg: &SimConfig,
+    mut opts: RunOptions<'_>,
+) -> Result<SimResult, ArtifactError> {
+    let compiled_storage;
+    let injections: &CompiledInjections = match opts.compiled {
+        Some(c) => c,
+        None => {
+            compiled_storage = match opts.injections {
+                Some(map) if !map.is_empty() => map.compile(program.num_blocks()),
+                _ => CompiledInjections::default(),
+            };
+            &compiled_storage
+        }
+    };
+    let mut eng = Engine::new(
+        program,
+        cfg,
+        injections,
+        opts.observer.take(),
+        opts.hw_prefetcher.take(),
+        opts.outcomes.take(),
+        opts.reference_loop,
+    );
+    let mut idx0 = 0usize;
+    while let Some(chunk) = source.next_chunk()? {
+        eng.replay(chunk, idx0);
+        idx0 += chunk.len();
+    }
+    Ok(eng.result_so_far())
 }
 
 /// Cheap 64-bit mix for deterministic pseudo-random data addresses.

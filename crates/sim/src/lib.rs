@@ -40,11 +40,14 @@ pub mod shard;
 
 pub use cache::{Cache, CacheParams, InsertPriority};
 pub use config::{Latencies, SimConfig};
-pub use engine::{run, HwPrefetcher, NoopObserver, RunOptions, SimObserver};
+pub use engine::{run, run_streaming, HwPrefetcher, NoopObserver, RunOptions, SimObserver};
 pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use hierarchy::{Hierarchy, ResidencyLevel};
 pub use lbr::{BloomSig, CountingBloom, Lbr};
 pub use metrics::SimResult;
 pub use outcome::{InjectionOutcome, OutcomeLedger};
-pub use replay::{replay_bytes, replay_file, ReplayOutcome};
-pub use shard::{simulate_sharded, ShardConfig};
+pub use replay::{replay_bytes, replay_file, replay_file_streaming, replay_stream, ReplayOutcome};
+pub use shard::{
+    simulate_sharded, simulate_sharded_source, GenWindows, ShardConfig, SliceWindows,
+    WindowedBlockSource,
+};

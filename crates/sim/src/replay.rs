@@ -26,10 +26,11 @@
 //! ```
 
 use crate::config::SimConfig;
-use crate::engine::{run, RunOptions};
+use crate::engine::{run, run_streaming, RunOptions};
 use crate::metrics::SimResult;
 use ispy_artifact::ArtifactError;
-use ispy_trace::artifact::{read_recording, recording_from_bytes};
+use ispy_trace::artifact::{open_recording_stream, read_recording, recording_from_bytes};
+use std::io::Read;
 use std::path::Path;
 
 /// What a replay produced: the identity of the recording plus the metrics.
@@ -82,6 +83,42 @@ pub fn replay_file(
     })
 }
 
+/// Replays a recording off a byte stream without materializing the trace:
+/// the program sections decode up front, the event sections decode chunk by
+/// chunk straight into [`run_streaming`]. Byte-identical to [`replay_bytes`]
+/// on the same input, in bounded memory on input of any size.
+///
+/// # Errors
+///
+/// Any [`ArtifactError`] from decoding — including corruption or truncation
+/// discovered mid-stream, in which case no result is returned.
+pub fn replay_stream<R: Read>(
+    source: R,
+    cfg: &SimConfig,
+    opts: RunOptions<'_>,
+) -> Result<ReplayOutcome, ArtifactError> {
+    let (program, mut stream) = open_recording_stream(source)?;
+    let trace_name = stream.name().to_string();
+    let result = run_streaming(&program, &mut stream, cfg, opts)?;
+    Ok(ReplayOutcome { name: program.name().to_string(), trace_name, result })
+}
+
+/// Replays a `.itrace` file through the simulator in bounded memory; see
+/// [`replay_stream`].
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on filesystem failure, otherwise as
+/// [`replay_stream`].
+pub fn replay_file_streaming(
+    path: &Path,
+    cfg: &SimConfig,
+    opts: RunOptions<'_>,
+) -> Result<ReplayOutcome, ArtifactError> {
+    let file = std::fs::File::open(path).map_err(|e| ArtifactError::io(path, e))?;
+    replay_stream(std::io::BufReader::new(file), cfg, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,13 +147,39 @@ mod tests {
     #[test]
     fn replay_from_file_round_trips() {
         let (program, trace) = recording();
-        let dir = std::env::temp_dir().join("ispy-replay-test");
+        // Unique per-process dir: a fixed path collides when test binaries
+        // run in parallel or two checkouts share a host.
+        let dir = std::env::temp_dir().join(format!("ispy-replay-test-{}", std::process::id()));
         let path = dir.join("tomcat.itrace");
         write_recording(&program, &trace, &path).unwrap();
         let cfg = SimConfig::default();
         let out = replay_file(&path, &cfg, RunOptions::default()).unwrap();
         assert_eq!(out.result, run(&program, &trace, &cfg, RunOptions::default()));
+        let streamed = replay_file_streaming(&path, &cfg, RunOptions::default()).unwrap();
+        assert_eq!(streamed, out);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_replay_matches_buffered_replay_exactly() {
+        let (program, trace) = recording();
+        let cfg = SimConfig::default();
+        let bytes = recording_to_bytes(&program, &trace);
+        let buffered = replay_bytes(&bytes, &cfg, RunOptions::default()).unwrap();
+        let streamed = replay_stream(bytes.as_slice(), &cfg, RunOptions::default()).unwrap();
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_error_not_a_partial_result() {
+        let (program, trace) = recording();
+        let bytes = recording_to_bytes(&program, &trace);
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        let err = replay_stream(cut, &SimConfig::default(), RunOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Truncated { .. } | ArtifactError::SectionChecksum { .. }),
+            "unexpected error class: {err:?}"
+        );
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl InputSpec {
 }
 
 /// Call-stack frame: where to resume in the caller, and the caller's mode.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Frame {
     ret: BlockId,
     saved_mode: u64,
@@ -128,6 +128,10 @@ fn mix(a: u64, b: u64) -> u64 {
 /// Deterministic random-walk executor over a program.
 ///
 /// Implements [`Iterator`] yielding one [`BlockId`] per executed basic block.
+/// The walker is `Clone`, and a clone resumes from exactly the same machine
+/// state — cloning at block `n` and continuing yields the same suffix as the
+/// original. Streaming replay leans on this to checkpoint generator state at
+/// shard-window boundaries instead of materializing the trace.
 ///
 /// # Examples
 ///
@@ -139,7 +143,7 @@ fn mix(a: u64, b: u64) -> u64 {
 /// let blocks: Vec<_> = Walker::new(&program, model.default_input()).take(100).collect();
 /// assert_eq!(blocks.len(), 100);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Walker<'p> {
     program: &'p Program,
     rng: Pcg32,

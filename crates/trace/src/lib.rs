@@ -40,6 +40,7 @@ pub mod gen;
 pub mod ingest;
 pub mod program;
 pub mod rng;
+pub mod source;
 pub mod trace;
 
 pub use addr::{Addr, Line, LINE_BYTES};
@@ -47,4 +48,5 @@ pub use apps::AppModel;
 pub use block::{BasicBlock, BlockId};
 pub use exec::{InputSpec, Walker};
 pub use program::Program;
+pub use source::{BlockSource, TraceBlocks, WalkerSource};
 pub use trace::Trace;
